@@ -1,0 +1,31 @@
+"""Shared fixtures for the per-table/figure benchmark harness.
+
+The heavy sweeps are computed once per session and shared by every figure
+that the paper derives from the same instrumented runs (Figs. 10-14 come
+from one benchmark x GPU-configuration sweep, exactly as in the paper).
+"""
+
+import pytest
+
+from repro.experiments import gpu_config_sweep, storage_config_sweep
+
+#: Simulated optimizer steps per run: enough for steady-state statistics
+#: while keeping the full harness in minutes.
+SIM_STEPS = 8
+
+
+@pytest.fixture(scope="session")
+def gpu_sweep():
+    """All five benchmarks on localGPUs / hybridGPUs / falconGPUs."""
+    return gpu_config_sweep(sim_steps=SIM_STEPS)
+
+
+@pytest.fixture(scope="session")
+def storage_sweep():
+    """All five benchmarks on localGPUs / localNVMe / falconNVMe."""
+    return storage_config_sweep(sim_steps=SIM_STEPS)
+
+
+def emit(text: str) -> None:
+    """Print a rendered table so it lands in the harness output."""
+    print("\n" + text + "\n")

@@ -1,0 +1,57 @@
+"""Ablation — NCCL transport-penalty sensitivity.
+
+DESIGN.md calibration choice: collective transfers over PCIe/CDFP pay a
+byte-inflation penalty (staged bounce-buffer copies), calibrated to 2.2x
+so BERT-large's falcon overhead lands at the paper's ~2x.  This ablation
+shows what the result *would* look like at line rate (penalty 1.0) and at
+a harsher 3.0 — i.e. how load-bearing the calibration is — and that the
+local-NVLink baseline is insensitive to it.
+"""
+
+from conftest import emit
+
+from repro import ComposableSystem
+from repro.experiments import render_table
+from repro.fabric.link import Protocol
+
+PENALTIES = (1.0, 2.2, 3.0)
+
+
+def overhead_with_penalty(pcie_penalty: float) -> float:
+    """BERT-large falcon-vs-local total-time overhead (%)."""
+    penalty = {
+        Protocol.NVLINK2: 1.05,
+        Protocol.PCIE3: pcie_penalty,
+        Protocol.PCIE4: pcie_penalty,
+        Protocol.CDFP: pcie_penalty,
+    }
+    totals = {}
+    for config in ("localGPUs", "falconGPUs"):
+        system = ComposableSystem()
+        result = system.train("bert-large", configuration=config,
+                              sim_steps=6, transport_penalty=penalty)
+        totals[config] = result.total_time
+    return 100.0 * (totals["falconGPUs"] / totals["localGPUs"] - 1.0)
+
+
+def test_ablation_transport_penalty(benchmark):
+    overheads = {}
+    overheads[2.2] = benchmark.pedantic(
+        lambda: overhead_with_penalty(2.2), rounds=1, iterations=1)
+    for p in PENALTIES:
+        if p not in overheads:
+            overheads[p] = overhead_with_penalty(p)
+
+    emit(render_table(
+        ["PCIe penalty", "BERT-L falcon overhead %"],
+        [(p, round(overheads[p], 1)) for p in PENALTIES],
+        title="Ablation: NCCL transport penalty sensitivity",
+    ))
+
+    # Monotone: more staging overhead, more falcon slowdown.
+    assert overheads[1.0] < overheads[2.2] < overheads[3.0]
+    # The calibrated value reproduces the paper's ~2x...
+    assert 70.0 < overheads[2.2] < 130.0
+    # ...and at line rate the gap shrinks dramatically (the paper's
+    # result is *not* explained by link bandwidth alone).
+    assert overheads[1.0] < 0.6 * overheads[2.2]

@@ -1,0 +1,51 @@
+"""Fig. 10 — GPU performance of the DL benchmarks across configurations.
+
+Per (benchmark, configuration): GPU utilization, GPU memory utilization,
+and the fraction of time accessing GPU memory.  Paper observations to
+hold: behaviour is similar across configurations; utilization stays high;
+falcon configurations show *slightly higher* utilization and *lower*
+memory-access time for the BERT benchmarks.
+"""
+
+from conftest import SIM_STEPS, emit
+
+from repro.experiments import render_table, run_configuration, \
+    telemetry_rows
+from repro.experiments.sweeps import GPU_CONFIGS
+
+
+def test_fig10_gpu_metrics(benchmark, gpu_sweep):
+    for metric, label in [("gpu_utilization", "GPU utilization %"),
+                          ("gpu_memory", "GPU memory utilization %"),
+                          ("gpu_mem_access", "GPU memory access time %")]:
+        emit(render_table(
+            ["Benchmark", *GPU_CONFIGS],
+            telemetry_rows(gpu_sweep, metric),
+            title=f"Fig 10: {label}",
+        ))
+
+    for key, by_config in gpu_sweep.items():
+        utils = {cfg: rec.gpu_utilization
+                 for cfg, rec in by_config.items()}
+        mems = {cfg: rec.gpu_memory for cfg, rec in by_config.items()}
+        # GPU memory footprint is configuration-independent.
+        assert max(mems.values()) - min(mems.values()) < 2.0, key
+        # Compute-heavy benchmarks keep GPUs busy most of the time.
+        if key != "mobilenetv2":
+            assert min(utils.values()) > 60.0, key
+
+    # Falcon configs show higher utilization (long NCCL kernels) and
+    # lower memory-access share for the BERT benchmarks.
+    for key in ("bert-base", "bert-large"):
+        local = gpu_sweep[key]["localGPUs"]
+        falcon = gpu_sweep[key]["falconGPUs"]
+        assert falcon.gpu_utilization >= local.gpu_utilization - 1.0
+        assert falcon.gpu_mem_access <= local.gpu_mem_access + 1.0
+
+    # BERT models stress GPU memory (Transformer activations).
+    assert gpu_sweep["bert-large"]["localGPUs"].gpu_memory > 85.0
+
+    benchmark.pedantic(
+        lambda: run_configuration("resnet50", "falconGPUs",
+                                  sim_steps=SIM_STEPS),
+        rounds=1, iterations=1)

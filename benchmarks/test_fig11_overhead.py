@@ -1,0 +1,50 @@
+"""Fig. 11 — percentage change of training time vs the localGPUs
+configuration (the paper's headline result).
+
+Shape to hold: vision overhead < 7% (MobileNetV2 / ResNet-50 < 5%); the
+overhead grows with parameter count; BERT-large on falcon-attached GPUs
+takes ~2x the local configuration.
+"""
+
+from conftest import SIM_STEPS, emit
+
+from repro.experiments import relative_time_rows, render_table, \
+    run_configuration
+from repro.workloads import get_benchmark
+
+
+def test_fig11_training_time_overhead(benchmark, gpu_sweep):
+    rows = relative_time_rows(gpu_sweep)
+    emit(render_table(
+        ["Benchmark", "hybridGPUs %", "falconGPUs %"],
+        rows,
+        title="Fig 11: % Change of Training Time vs localGPUs",
+    ))
+
+    pct = {key: {cfg: rec.pct_change_vs(by_config["localGPUs"])
+                 for cfg, rec in by_config.items() if cfg != "localGPUs"}
+           for key, by_config in gpu_sweep.items()}
+
+    # Vision models: overhead below 7%, small models below 5%.
+    assert abs(pct["mobilenetv2"]["falconGPUs"]) < 5.0
+    assert abs(pct["resnet50"]["falconGPUs"]) < 5.0
+    assert abs(pct["yolov5l"]["falconGPUs"]) < 7.0
+
+    # NLP overhead is pronounced and correlates with parameter count.
+    assert pct["bert-base"]["falconGPUs"] > 15.0
+    assert pct["bert-large"]["falconGPUs"] > pct["bert-base"]["falconGPUs"]
+
+    # BERT-large takes "almost twice as much time" on falcon GPUs.
+    assert 70.0 < pct["bert-large"]["falconGPUs"] < 130.0
+
+    # Overhead ordering follows model size within each domain.
+    params = {k: get_benchmark(k).build().params for k in pct}
+    vision = ["mobilenetv2", "resnet50", "yolov5l"]
+    nlp = ["bert-base", "bert-large"]
+    assert params[nlp[0]] < params[nlp[1]]
+    assert pct[nlp[0]]["falconGPUs"] < pct[nlp[1]]["falconGPUs"]
+
+    benchmark.pedantic(
+        lambda: run_configuration("bert-large", "falconGPUs",
+                                  sim_steps=SIM_STEPS),
+        rounds=1, iterations=1)

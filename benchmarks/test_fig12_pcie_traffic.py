@@ -1,0 +1,48 @@
+"""Fig. 12 — PCIe data transfer rate (GB/s) for Falcon-attached GPU
+configurations.
+
+Ingress+egress across the Falcon GPU slots during steady training.
+Shape to hold: traffic grows with model size (BERT-large >> ResNet-50 >
+MobileNetV2 — the paper reports 76.43, 11.31, and 4 GB/s, i.e. ~19x and
+~7x ratios), and the hybrid configuration (4 falcon GPUs) moves roughly
+half the falconGPUs traffic.
+"""
+
+from conftest import SIM_STEPS, emit
+
+from repro.experiments import render_table, run_configuration, traffic_rows
+
+
+def test_fig12_pcie_traffic(benchmark, gpu_sweep):
+    emit(render_table(
+        ["Benchmark", "hybridGPUs GB/s", "falconGPUs GB/s"],
+        traffic_rows(gpu_sweep),
+        title="Fig 12: PCIe Data Transfer Rate for Falcon Configurations",
+    ))
+
+    traffic = {key: by_config["falconGPUs"].falcon_gpu_traffic_gbs
+               for key, by_config in gpu_sweep.items()}
+    hybrid = {key: by_config["hybridGPUs"].falcon_gpu_traffic_gbs
+              for key, by_config in gpu_sweep.items()}
+
+    # Traffic grows with gradient volume / model size.
+    assert traffic["mobilenetv2"] < traffic["resnet50"] \
+        < traffic["yolov5l"] < traffic["bert-base"] <= traffic["bert-large"]
+
+    # BERT-large moves an order of magnitude more than the small models
+    # (paper: ~19x MobileNetV2, ~7x ResNet-50).
+    assert traffic["bert-large"] / traffic["mobilenetv2"] > 8.0
+    assert traffic["bert-large"] / traffic["resnet50"] > 5.0
+
+    # Local-only configurations put no traffic on the falcon slots.
+    for key, by_config in gpu_sweep.items():
+        assert by_config["localGPUs"].falcon_gpu_traffic_gbs == 0.0
+
+    # Hybrid (4 falcon GPUs) carries roughly half the falcon traffic.
+    for key in traffic:
+        assert 0.25 * traffic[key] < hybrid[key] < 0.85 * traffic[key]
+
+    benchmark.pedantic(
+        lambda: run_configuration("bert-base", "hybridGPUs",
+                                  sim_steps=SIM_STEPS),
+        rounds=1, iterations=1)

@@ -1,0 +1,44 @@
+"""Fig. 13 — CPU utilization of the DL benchmarks across configurations.
+
+Paper observations: the benchmarks do not stress the CPU cores overall;
+the vision benchmarks exercise the host CPUs much more than the NLP
+benchmarks (image decode/crop/resize/normalize is CPU-side), and the
+behaviour is similar across GPU configurations.
+"""
+
+from conftest import SIM_STEPS, emit
+
+from repro.experiments import render_table, run_configuration, \
+    telemetry_rows
+from repro.experiments.sweeps import GPU_CONFIGS
+
+
+def test_fig13_cpu_utilization(benchmark, gpu_sweep):
+    emit(render_table(
+        ["Benchmark", *GPU_CONFIGS],
+        telemetry_rows(gpu_sweep, "cpu_utilization"),
+        title="Fig 13: CPU Utilization %",
+    ))
+
+    cpu = {key: by_config["localGPUs"].cpu_utilization
+           for key, by_config in gpu_sweep.items()}
+
+    # Vision >> NLP: preprocessing happens on the CPU.
+    for vision_key in ("mobilenetv2", "resnet50", "yolov5l"):
+        for nlp_key in ("bert-base", "bert-large"):
+            assert cpu[vision_key] > 5 * cpu[nlp_key], \
+                (vision_key, nlp_key)
+
+    # NLP barely touches the CPUs (pre-tokenized features).
+    assert cpu["bert-base"] < 5.0
+    assert cpu["bert-large"] < 5.0
+
+    # Similar behaviour across configurations.
+    for key, by_config in gpu_sweep.items():
+        values = [rec.cpu_utilization for rec in by_config.values()]
+        assert max(values) - min(values) < 15.0, key
+
+    benchmark.pedantic(
+        lambda: run_configuration("mobilenetv2", "localGPUs",
+                                  sim_steps=SIM_STEPS),
+        rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Fig. 14 — system memory utilization across configurations.
+
+Paper observations: none of the benchmarks stress the 756 GB hosts; the
+vision benchmarks hold more host memory than the NLP ones (page-cached
+image datasets and decoded-batch buffers vs tiny tokenized features).
+"""
+
+from conftest import SIM_STEPS, emit
+
+from repro.experiments import render_table, run_configuration, \
+    telemetry_rows
+from repro.experiments.sweeps import GPU_CONFIGS
+
+
+def test_fig14_system_memory(benchmark, gpu_sweep):
+    emit(render_table(
+        ["Benchmark", *GPU_CONFIGS],
+        telemetry_rows(gpu_sweep, "host_memory"),
+        title="Fig 14: System Memory Utilization %",
+    ))
+
+    mem = {key: by_config["localGPUs"].host_memory
+           for key, by_config in gpu_sweep.items()}
+
+    # Nobody stresses the system memory.
+    for key, value in mem.items():
+        assert value < 40.0, key
+
+    # ImageNet-scale page cache: vision above NLP.
+    assert mem["resnet50"] > mem["bert-large"]
+    assert mem["mobilenetv2"] > mem["bert-base"]
+
+    # Configuration-independent (within sampling noise).
+    for key, by_config in gpu_sweep.items():
+        values = [rec.host_memory for rec in by_config.values()]
+        assert max(values) - min(values) < 5.0, key
+
+    benchmark.pedantic(
+        lambda: run_configuration("bert-base", "localGPUs",
+                                  sim_steps=SIM_STEPS),
+        rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Fig. 15 — percentage change of training time with Falcon-attached and
+local NVMe storage (GPUs always local).
+
+Paper observations: attaching NVMe accelerates training for the large
+models (BERT, YOLO) by improving data-loading/checkpoint speed; the
+PCIe-switching overhead of the falcon-attached NVMe is small (falconNVMe
+tracks localNVMe closely).
+"""
+
+from conftest import SIM_STEPS, emit
+
+from repro.experiments import relative_time_rows, render_table, \
+    run_configuration
+
+
+def test_fig15_storage_configurations(benchmark, storage_sweep):
+    rows = relative_time_rows(storage_sweep)
+    emit(render_table(
+        ["Benchmark", "localNVMe %", "falconNVMe %"],
+        rows,
+        title="Fig 15: % Change of Training Time vs localGPUs (storage)",
+    ))
+
+    pct = {key: {cfg: rec.pct_change_vs(by_config["localGPUs"])
+                 for cfg, rec in by_config.items() if cfg != "localGPUs"}
+           for key, by_config in storage_sweep.items()}
+
+    # NVMe never hurts, and it helps the BERT benchmarks the most
+    # (multi-GB checkpoints; paper: "additional acceleration ... for
+    # large models such as BERT and Yolo").
+    for key, changes in pct.items():
+        assert changes["localNVMe"] <= 0.5, key
+        assert changes["falconNVMe"] <= 0.5, key
+    assert pct["bert-large"]["localNVMe"] < -3.0
+    assert pct["bert-base"]["localNVMe"] < -3.0
+    assert pct["bert-large"]["localNVMe"] < pct["resnet50"]["localNVMe"]
+
+    # Falcon-attached NVMe tracks local NVMe (small switching overhead).
+    for key, changes in pct.items():
+        assert abs(changes["falconNVMe"] - changes["localNVMe"]) < 2.0, key
+        # ...but the falcon path is never *faster* than local.
+        assert changes["falconNVMe"] >= changes["localNVMe"] - 0.1, key
+
+    benchmark.pedantic(
+        lambda: run_configuration("bert-large", "falconNVMe",
+                                  sim_steps=SIM_STEPS),
+        rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""Fig. 5 — communications requirements of disaggregation.
+
+Static table from the paper (sourced from [1]); cross-checked against the
+latency ordering of our own link catalog, and the benchmark times the
+fabric-level path computations the ordering is derived from.
+"""
+
+from conftest import emit
+
+from repro import COMM_REQUIREMENTS
+from repro.experiments import render_table
+from repro.fabric import (
+    DDR4_CHANNEL,
+    NVLINK2_X1,
+    PCIE_GEN4_X16,
+    SATA3,
+    Topology,
+)
+from repro.sim import Environment
+
+
+def test_fig5_comm_requirements(benchmark):
+    emit(render_table(
+        ["Communication", "Latency", "Bandwidth", "Link Length"],
+        [(r.path, r.latency, r.bandwidth, r.link_length)
+         for r in COMM_REQUIREMENTS],
+        title="Fig 5: Communications Requirements",
+    ))
+    assert [r.path for r in COMM_REQUIREMENTS] == [
+        "CPU - CPU", "CPU - Memory", "CPU - Disk"]
+
+    # Our link catalog reproduces the ordering: memory-class latencies far
+    # below PCIe-class, far below disk-class.
+    assert DDR4_CHANNEL.latency < NVLINK2_X1.latency
+    assert NVLINK2_X1.latency < SATA3.latency
+    assert PCIE_GEN4_X16.latency < SATA3.latency / 10
+
+    def measure_paths():
+        env = Environment()
+        topo = Topology(env)
+        topo.add_node("cpu", kind="rc", transit=True)
+        topo.add_node("mem", kind="dram")
+        topo.add_node("disk", kind="storage")
+        topo.add_link(DDR4_CHANNEL, "cpu", "mem")
+        topo.add_link(SATA3, "cpu", "disk")
+        return (topo.path_latency("cpu", "mem"),
+                topo.path_latency("cpu", "disk"))
+
+    mem_lat, disk_lat = benchmark.pedantic(measure_paths, rounds=5,
+                                           iterations=1)
+    assert disk_lat > mem_lat

@@ -1,0 +1,65 @@
+"""Future-work experiments II: network hierarchy and drawer cabling.
+
+Two studies beyond the paper's evaluation that its §III/§IV discussion
+sets up:
+
+- the **scale-out comparison** quantifies the related-work claim that
+  "the key enabler is the network": NVLink vs the Falcon PCIe fabric vs
+  a two-host 10 GbE ring for one BERT-large gradient allreduce;
+- the **dual-connection study** measures §III-B's stated tradeoff (two
+  connections to one drawer improve host-device bandwidth but "may slow
+  communications between devices in the two halves").
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    allreduce_scale_out_study,
+    dual_connection_study,
+    render_table,
+)
+
+
+def test_scale_out_network_hierarchy(benchmark):
+    result = benchmark.pedantic(
+        lambda: allreduce_scale_out_study(nbytes=670e6),
+        rounds=1, iterations=1)
+
+    emit(render_table(
+        ["Placement", "Allreduce ms", "vs NVLink"],
+        [
+            ("local NVLink mesh", round(result.local_nvlink * 1e3, 1),
+             "1.0x"),
+            ("falcon PCIe fabric", round(result.falcon_pcie * 1e3, 1),
+             f"{result.falcon_vs_local:.1f}x"),
+            ("2 hosts over 10GbE",
+             round(result.ethernet_2hosts * 1e3, 1),
+             f"{result.ethernet_2hosts / result.local_nvlink:.1f}x"),
+        ],
+        title="Scale-out: BERT-large gradient allreduce by fabric",
+    ))
+
+    assert result.local_nvlink < result.falcon_pcie \
+        < result.ethernet_2hosts
+    assert result.ethernet_vs_falcon > 4.0
+
+
+def test_dual_connection_tradeoff(benchmark):
+    bert = benchmark.pedantic(
+        lambda: dual_connection_study("bert-large", sim_steps=5),
+        rounds=1, iterations=1)
+    resnet = dual_connection_study("resnet50", sim_steps=5)
+
+    emit(render_table(
+        ["Benchmark", "Single conn ms", "Dual conn ms", "Dual vs single"],
+        [(r.benchmark, round(r.single_connection * 1e3, 1),
+          round(r.dual_connection * 1e3, 1),
+          f"{r.dual_vs_single_pct:+.1f}%")
+         for r in (bert, resnet)],
+        title="Dual-connection drawer (paper III-B) tradeoff",
+    ))
+
+    # Cross-half P2P through the host hurts the comm-bound model...
+    assert bert.dual_vs_single_pct > 8.0
+    # ...and is immaterial for the prefetch-hidden vision model.
+    assert abs(resnet.dual_vs_single_pct) < 3.0

@@ -1,0 +1,26 @@
+"""Table I — software stack details.
+
+Static reproduction: the stack whose behaviour the simulation models.
+The benchmark times constructing a full composable system (the substrate
+every experiment builds on).
+"""
+
+from conftest import emit
+
+from repro import ComposableSystem, SOFTWARE_STACK
+from repro.experiments import render_table
+
+
+def test_table1_software_stack(benchmark):
+    table = render_table(
+        ["Component", "Version"],
+        sorted(SOFTWARE_STACK.items()),
+        title="Table I: Software Stack Details",
+    )
+    emit(table)
+    assert SOFTWARE_STACK["DL Framework"] == "PyTorch 1.7.1"
+    assert SOFTWARE_STACK["NCCL"] == "NCCL 2.8.4"
+    assert "Ubuntu 18.04" in SOFTWARE_STACK["Operating system"]
+
+    # Time the system bring-up that substitutes for this stack.
+    benchmark.pedantic(ComposableSystem, rounds=3, iterations=1)

@@ -1,0 +1,45 @@
+"""Table III — composable host configurations.
+
+Verifies each named configuration resolves to the paper's device set and
+times the resolve (which exercises chassis allocation bookkeeping).
+"""
+
+from conftest import emit
+
+from repro import CONFIGURATION_DESCRIPTIONS, CONFIGURATION_ORDER, \
+    ComposableSystem
+from repro.experiments import render_table
+
+
+def test_table3_configurations(benchmark):
+    system = ComposableSystem()
+
+    def resolve_all():
+        return {name: system.configure(name)
+                for name in CONFIGURATION_ORDER}
+
+    active = benchmark.pedantic(resolve_all, rounds=5, iterations=1)
+
+    emit(render_table(
+        ["Label", "Host Configuration"],
+        [(name, CONFIGURATION_DESCRIPTIONS[name])
+         for name in CONFIGURATION_ORDER],
+        title="Table III: Composable Host Configurations",
+    ))
+
+    local = active["localGPUs"]
+    assert all(n.startswith("host0/gpu") for n in local.gpu_names)
+    assert local.storage is system.host.scratch
+
+    hybrid = active["hybridGPUs"]
+    assert sum(n.startswith("falcon0") for n in hybrid.gpu_names) == 4
+
+    falcon = active["falconGPUs"]
+    assert all(n.startswith("falcon0/gpu") for n in falcon.gpu_names)
+
+    assert active["localNVMe"].storage is system.local_nvme
+    assert active["falconNVMe"].storage is system.falcon_nvme
+    # Storage configs keep the GPUs local.
+    for name in ("localNVMe", "falconNVMe"):
+        assert all(n.startswith("host0/gpu")
+                   for n in active[name].gpu_names)

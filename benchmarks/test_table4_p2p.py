@@ -1,0 +1,55 @@
+"""Table IV — GPU-GPU bandwidth, latency, and protocol.
+
+The p2pBandwidthLatencyTest analog over the three pair classes.  The
+paper's measured values and ours:
+
+====  ============  =======  ==========
+Pair  BW (GB/s)     Lat(us)  Protocol
+====  ============  =======  ==========
+L-L   72.37          1.85    NVLink
+F-L   19.64          2.66    PCI-e 4.0
+F-F   24.47          2.08    PCI-e 4.0
+====  ============  =======  ==========
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import render_table, table4
+
+PAPER = {
+    "L-L": (72.37, 1.85, "NVLink"),
+    "F-L": (19.64, 2.66, "PCI-e 4.0"),
+    "F-F": (24.47, 2.08, "PCI-e 4.0"),
+}
+
+
+def test_table4_p2p_bandwidth_latency(benchmark):
+    results = benchmark.pedantic(table4, rounds=1, iterations=1)
+
+    rows = []
+    for pair in ("L-L", "F-L", "F-F"):
+        r = results[pair]
+        paper_bw, paper_lat, paper_proto = PAPER[pair]
+        rows.append((pair, round(r.bidirectional_bandwidth_gbs, 2),
+                     paper_bw, round(r.p2p_write_latency_us, 2), paper_lat,
+                     r.protocol))
+    emit(render_table(
+        ["Pair", "BW GB/s", "paper", "Latency us", "paper", "Protocol"],
+        rows,
+        title="Table IV: GPU-GPU Bandwidth, Latency, and Protocol",
+    ))
+
+    for pair, (paper_bw, paper_lat, paper_proto) in PAPER.items():
+        r = results[pair]
+        assert r.bidirectional_bandwidth_gbs == pytest.approx(paper_bw,
+                                                              rel=0.05)
+        assert r.p2p_write_latency_us == pytest.approx(paper_lat, rel=0.05)
+        assert r.protocol == paper_proto
+
+    # Shape: L-L is ~3x F-F and ~4x F-L (paper's headline observation).
+    ll = results["L-L"].bidirectional_bandwidth_gbs
+    assert ll / results["F-F"].bidirectional_bandwidth_gbs == \
+        pytest.approx(3.0, rel=0.15)
+    assert ll / results["F-L"].bidirectional_bandwidth_gbs == \
+        pytest.approx(4.0, rel=0.15)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Co-design study: how many Falcon GPUs should a workload rent?
+
+The paper positions the composable system as a *hardware/software
+co-design platform*: try configurations before committing to a build.
+This example uses the simulator the same way — it sweeps the number of
+GPUs (local and falcon-attached) for two contrasting workloads and
+reports throughput, efficiency vs a single GPU, and the knee of the
+scaling curve, i.e. the configuration a capacity planner should pick.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import ComposableSystem
+from repro.experiments import render_table
+from repro.fabric import RING_ORDER
+from repro.training import DistributedDataParallel, TrainingConfig, \
+    TrainingJob
+from repro.workloads import get_benchmark
+
+
+def run_with_gpus(benchmark_key: str, pool: str, n_gpus: int) -> float:
+    """Throughput (samples/s) training on the first n GPUs of a pool."""
+    system = ComposableSystem()
+    # Local GPUs in hybrid-cube-mesh ring order so every NCCL ring hop
+    # of a prefix stays on NVLink.
+    local_ring = [system.host.gpus[i] for i in RING_ORDER]
+    gpus = (local_ring if pool == "local"
+            else system.falcon_gpus)[:n_gpus]
+    bench = get_benchmark(benchmark_key)
+    per_gpu = max(1, bench.global_batch // 8)
+    config = TrainingConfig(
+        benchmark=bench,
+        strategy=DistributedDataParallel(),
+        global_batch=per_gpu * n_gpus,
+        sim_steps=6,
+    )
+    job = TrainingJob(system.env, system.topology, system.host, gpus,
+                      system.host.scratch, config)
+    return job.run().throughput
+
+
+def main() -> None:
+    for key in ("resnet50", "bert-large"):
+        rows = []
+        base = {}
+        for pool in ("local", "falcon"):
+            for n in (1, 2, 4, 8):
+                tput = run_with_gpus(key, pool, n)
+                base.setdefault(pool, tput)
+                eff = tput / (n * base[pool])
+                rows.append((pool, n, round(tput, 1),
+                             round(100 * eff, 1)))
+        print(render_table(
+            ["Pool", "GPUs", "Samples/s", "Scaling eff %"],
+            rows,
+            title=f"{key}: scaling across GPU pools",
+        ))
+        falcon8 = next(r[2] for r in rows if r[0] == "falcon" and r[1] == 8)
+        local8 = next(r[2] for r in rows if r[0] == "local" and r[1] == 8)
+        verdict = ("falcon pool is fine — rent composable GPUs"
+                   if falcon8 > 0.93 * local8 else
+                   "keep this workload on NVLink-attached GPUs")
+        print(f"  -> {verdict} ({falcon8 / local8 * 100:.0f}% of local "
+              f"throughput at 8 GPUs)\n")
+
+
+if __name__ == "__main__":
+    main()

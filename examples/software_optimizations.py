@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Software-level optimizations on BERT-large (the paper's Fig. 16).
+
+Compares DataParallel vs DistributedDataParallel, FP32 vs FP16 mixed
+precision, and ZeRO-style sharded training (per-GPU batch 6 -> 10) on
+both local and Falcon-attached GPUs.
+
+Run:  python examples/software_optimizations.py
+"""
+
+from repro.experiments import (
+    render_table,
+    software_optimization_study,
+    time_reduction_pct,
+)
+
+
+def main() -> None:
+    study = software_optimization_study(sim_steps=5)
+
+    rows = []
+    for variant in study["localGPUs"]:
+        rows.append((
+            variant,
+            round(study["localGPUs"][variant] * 1e3, 3),
+            round(study["falconGPUs"][variant] * 1e3, 3),
+        ))
+    print(render_table(
+        ["Variant", "local ms/sample", "falcon ms/sample"],
+        rows,
+        title="BERT-large fine-tuning: software-level optimizations",
+    ))
+
+    for config in ("localGPUs", "falconGPUs"):
+        v = study[config]
+        print(f"\n{config}:")
+        print(f"  FP16 over FP32 (DDP):  "
+              f"{time_reduction_pct(v['DDP-FP32'], v['DDP-FP16']):5.1f}% "
+              f"training-time reduction")
+        print(f"  DDP over DP (FP16):    "
+              f"{time_reduction_pct(v['DP-FP16'], v['DDP-FP16']):5.1f}%")
+        print(f"  Sharded over DDP-FP16: "
+              f"{time_reduction_pct(v['DDP-FP16'], v['Sharded-FP16']):5.1f}%"
+              f"  (per-GPU batch 6 -> 10)")
+
+    print("\nMixed precision pays the most where communication is the")
+    print("bottleneck — exactly the Falcon-attached configuration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Storage study: local scratch vs local NVMe vs Falcon-attached NVMe.
+
+Reproduces the paper's Fig. 15 experiment on two contrasting benchmarks:
+BERT-large (multi-gigabyte checkpoints — storage-sensitive) and
+MobileNetV2 (ImageNet staging — dataset-sensitive), and prints where the
+bytes actually went.
+
+Run:  python examples/storage_study.py
+"""
+
+from repro import ComposableSystem
+from repro.experiments import render_table
+
+
+def main() -> None:
+    rows = []
+    for key in ("bert-large", "mobilenetv2"):
+        baseline = None
+        for configuration in ("localGPUs", "localNVMe", "falconNVMe"):
+            system = ComposableSystem()
+            result = system.train(key, configuration=configuration,
+                                  sim_steps=8)
+            if baseline is None:
+                baseline = result.total_time
+            storage = system.configure(configuration).storage
+            rows.append((
+                key,
+                configuration,
+                storage.spec.name.split(" 4TB")[0],
+                round(result.checkpoint_time, 2),
+                round(result.staging_overhead, 1),
+                round(100 * (result.total_time / baseline - 1), 2),
+            ))
+
+    print(render_table(
+        ["Benchmark", "Configuration", "Storage", "Ckpt s",
+         "Staging s", "% vs localGPUs"],
+        rows,
+        title="Fig 15-style storage study",
+    ))
+    print("\nNVMe shrinks BERT's multi-GB checkpoint stalls and ImageNet's")
+    print("first-epoch staging; the falcon-attached drive pays only a")
+    print("small PCIe-switching premium over the local one.")
+
+
+if __name__ == "__main__":
+    main()

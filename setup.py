@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 517 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation`` (or plain ``pip install -e .``
+falling back to the legacy path) work.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,276 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro list                    # artifacts and benchmarks
+    python -m repro table1|table2|table3|table4|fig5
+    python -m repro fig9  [--steps N]
+    python -m repro fig10|fig11|fig12|fig13|fig14  [--steps N]
+    python -m repro fig15 [--steps N]
+    python -m repro fig16 [--steps N]
+    python -m repro sharing                 # future-work tenancy studies
+    python -m repro recommend <benchmark>   # topology recommendation
+    python -m repro train <benchmark> [--config NAME] [--steps N]
+                                            [--export out.csv|out.json]
+
+Every command prints the same rows the paper's tables/figures report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import (
+    COMM_REQUIREMENTS,
+    CONFIGURATION_DESCRIPTIONS,
+    CONFIGURATION_ORDER,
+    ComposableSystem,
+    SOFTWARE_STACK,
+)
+from .workloads import benchmark_names, get_benchmark
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Composable-system DL performance analysis "
+                    "(IPPS 2021 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list artifacts and benchmarks")
+    for name in ("table1", "table2", "table3", "table4", "fig5"):
+        sub.add_parser(name, help=f"print {name}")
+    for name in ("fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+                 "fig15", "fig16", "sharing", "scaleout", "scaling"):
+        p = sub.add_parser(name, help=f"run the {name} experiment")
+        p.add_argument("--steps", type=int, default=8,
+                       help="simulated optimizer steps per run")
+
+    rec = sub.add_parser("recommend",
+                         help="recommend a topology for a benchmark")
+    rec.add_argument("benchmark", choices=benchmark_names())
+    rec.add_argument("--steps", type=int, default=8)
+    rec.add_argument("--tolerance", type=float, default=7.0,
+                     help="acceptable slowdown vs fastest, percent")
+
+    train = sub.add_parser("train", help="run one training job")
+    train.add_argument("benchmark", choices=benchmark_names())
+    train.add_argument("--config", default="localGPUs",
+                       choices=CONFIGURATION_ORDER)
+    train.add_argument("--steps", type=int, default=10)
+    train.add_argument("--export", default=None,
+                       help="write the record to a .json or .csv file")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Imported here so `--help` stays instant.
+    from .experiments import (
+        count_dips,
+        gpu_config_sweep,
+        gpu_utilization_trace,
+        reconfiguration_study,
+        relative_time_rows,
+        render_table,
+        ring_placement_study,
+        run_configuration,
+        software_optimization_study,
+        storage_config_sweep,
+        table4,
+        telemetry_rows,
+        tenancy_isolation_study,
+        time_reduction_pct,
+        traffic_rows,
+        TopologyRecommender,
+    )
+    from .experiments.export import write_records
+    from .experiments.sweeps import GPU_CONFIGS
+
+    out = sys.stdout.write
+
+    if args.command == "list":
+        out("artifacts: table1 table2 table3 table4 fig5 fig9 fig10 "
+            "fig11 fig12 fig13 fig14 fig15 fig16 sharing\n")
+        out("benchmarks: " + " ".join(benchmark_names()) + "\n")
+        out("configurations: " + " ".join(CONFIGURATION_ORDER) + "\n")
+        return 0
+
+    if args.command == "table1":
+        out(render_table(["Component", "Version"],
+                         sorted(SOFTWARE_STACK.items()),
+                         title="Table I") + "\n")
+        return 0
+
+    if args.command == "table2":
+        rows = []
+        for key in benchmark_names():
+            b = get_benchmark(key)
+            g = b.build()
+            rows.append((b.display_name, b.domain, b.dataset.name,
+                         f"{g.params / 1e6:.1f}M", b.paper_depth))
+        out(render_table(["Benchmark", "Domain", "Dataset", "Parameters",
+                          "Depth"], rows, title="Table II") + "\n")
+        return 0
+
+    if args.command == "table3":
+        out(render_table(["Label", "Host Configuration"],
+                         list(CONFIGURATION_DESCRIPTIONS.items()),
+                         title="Table III") + "\n")
+        return 0
+
+    if args.command == "table4":
+        rows = [(k, round(r.bidirectional_bandwidth_gbs, 2),
+                 round(r.p2p_write_latency_us, 2), r.protocol)
+                for k, r in table4().items()]
+        out(render_table(["Pair", "Bidir BW GB/s", "Latency us",
+                          "Protocol"], rows, title="Table IV") + "\n")
+        return 0
+
+    if args.command == "fig5":
+        out(render_table(
+            ["Communication", "Latency", "Bandwidth", "Link Length"],
+            [(r.path, r.latency, r.bandwidth, r.link_length)
+             for r in COMM_REQUIREMENTS], title="Fig 5") + "\n")
+        return 0
+
+    if args.command == "fig9":
+        rows = []
+        for key in benchmark_names():
+            trace = gpu_utilization_trace(key, sim_steps=args.steps * 3,
+                                          sim_checkpoints=3)
+            rows.append((key, round(trace.plateau_mean, 1),
+                         round(trace.peak, 1), count_dips(trace)))
+        out(render_table(["Benchmark", "Plateau %", "Peak %", "Dips"],
+                         rows, title="Fig 9") + "\n")
+        return 0
+
+    if args.command in ("fig10", "fig11", "fig12", "fig13", "fig14"):
+        sweep = gpu_config_sweep(sim_steps=args.steps)
+        if args.command == "fig10":
+            for metric in ("gpu_utilization", "gpu_memory",
+                           "gpu_mem_access"):
+                out(render_table(["Benchmark", *GPU_CONFIGS],
+                                 telemetry_rows(sweep, metric),
+                                 title=f"Fig 10: {metric}") + "\n\n")
+        elif args.command == "fig11":
+            out(render_table(["Benchmark", "hybrid %", "falcon %"],
+                             relative_time_rows(sweep),
+                             title="Fig 11") + "\n")
+        elif args.command == "fig12":
+            out(render_table(["Benchmark", "hybrid GB/s", "falcon GB/s"],
+                             traffic_rows(sweep), title="Fig 12") + "\n")
+        elif args.command == "fig13":
+            out(render_table(["Benchmark", *GPU_CONFIGS],
+                             telemetry_rows(sweep, "cpu_utilization"),
+                             title="Fig 13") + "\n")
+        else:
+            out(render_table(["Benchmark", *GPU_CONFIGS],
+                             telemetry_rows(sweep, "host_memory"),
+                             title="Fig 14") + "\n")
+        return 0
+
+    if args.command == "fig15":
+        sweep = storage_config_sweep(sim_steps=args.steps)
+        out(render_table(["Benchmark", "localNVMe %", "falconNVMe %"],
+                         relative_time_rows(sweep),
+                         title="Fig 15") + "\n")
+        return 0
+
+    if args.command == "fig16":
+        study = software_optimization_study(sim_steps=max(4,
+                                                          args.steps // 2))
+        rows = [(v, round(study["localGPUs"][v] * 1e3, 3),
+                 round(study["falconGPUs"][v] * 1e3, 3))
+                for v in study["localGPUs"]]
+        out(render_table(["Variant", "local ms/sample",
+                          "falcon ms/sample"], rows,
+                         title="Fig 16") + "\n")
+        ddp = time_reduction_pct(study["localGPUs"]["DDP-FP32"],
+                                 study["localGPUs"]["DDP-FP16"])
+        out(f"FP16 over FP32 (DDP, local): {ddp:.1f}% reduction\n")
+        return 0
+
+    if args.command == "sharing":
+        iso = tenancy_isolation_study(sim_steps=max(4, args.steps // 2))
+        place = ring_placement_study(sim_steps=max(4, args.steps // 2))
+        rec = reconfiguration_study(sim_steps=max(4, args.steps // 2))
+        out(f"tenant isolation interference: "
+            f"{iso.interference_pct:+.2f}%\n")
+        out(f"ring crossing penalty: {place.crossing_penalty_pct:+.1f}%, "
+            f"shared-crossing interference: "
+            f"{place.interference_pct:+.1f}%\n")
+        out(f"reconfiguration: {rec.reconfiguration_seconds:.1f}s for "
+            f"{rec.gpus_moved} GPUs, breakeven "
+            f"{rec.breakeven_seconds:.1f}s\n")
+        return 0
+
+    if args.command == "scaleout":
+        from .experiments import allreduce_scale_out_study, \
+            dual_connection_study
+        r = allreduce_scale_out_study()
+        out(f"BERT-large gradient allreduce: NVLink "
+            f"{r.local_nvlink * 1e3:.0f} ms, falcon "
+            f"{r.falcon_pcie * 1e3:.0f} ms "
+            f"({r.falcon_vs_local:.1f}x), 10GbE 2-host "
+            f"{r.ethernet_2hosts * 1e3:.0f} ms "
+            f"({r.ethernet_2hosts / r.local_nvlink:.1f}x)\n")
+        d = dual_connection_study(sim_steps=max(4, args.steps // 2))
+        out(f"dual-connection drawer on BERT-large: "
+            f"{d.dual_vs_single_pct:+.1f}% vs single connection\n")
+        return 0
+
+    if args.command == "scaling":
+        from .experiments import overhead_vs_batch, overhead_vs_model_size
+        depth = overhead_vs_model_size(sim_steps=max(4, args.steps // 2))
+        out(render_table(
+            ["Layers", "Params M", "Falcon overhead %"],
+            [(p.num_layers, round(p.params_m, 1),
+              round(p.overhead_pct, 1)) for p in depth],
+            title="Overhead vs depth (batch fixed at 6/GPU)") + "\n\n")
+        batch = overhead_vs_batch(sim_steps=max(4, args.steps // 2))
+        out(render_table(
+            ["Batch/GPU", "Falcon overhead %"],
+            [(p.batch_per_gpu, round(p.overhead_pct, 1)) for p in batch],
+            title="Overhead vs per-GPU batch (BERT-large)") + "\n")
+        return 0
+
+    if args.command == "recommend":
+        recommender = TopologyRecommender(tolerance_pct=args.tolerance)
+        recommendation = recommender.evaluate(args.benchmark,
+                                              sim_steps=args.steps)
+        out(render_table(
+            ["Configuration", "Total s", "Samples/s", "Cost",
+             "Slowdown %", "Tput/cost", "Note"],
+            recommendation.table_rows(),
+            title=f"{args.benchmark}: recommended = "
+                  f"{recommendation.recommended}") + "\n")
+        return 0
+
+    if args.command == "train":
+        record = run_configuration(args.benchmark, args.config,
+                                   sim_steps=args.steps)
+        out(render_table(
+            ["Metric", "Value"],
+            [("step time (ms)", round(record.step_time * 1e3, 2)),
+             ("throughput (samples/s)", round(record.throughput, 1)),
+             ("epoch time (s)", round(record.epoch_time, 1)),
+             ("total time (s)", round(record.total_time, 1)),
+             ("GPU utilization (%)", round(record.gpu_utilization, 1)),
+             ("falcon traffic (GB/s)",
+              round(record.falcon_gpu_traffic_gbs, 2))],
+            title=f"{args.benchmark} on {args.config}") + "\n")
+        if args.export:
+            path = write_records([record], args.export)
+            out(f"wrote {path}\n")
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Public facade: the composable system and static presets."""
+
+from .cluster import ComposableCluster, HOTPLUG_SECONDS, JobSpec
+from .presets import (
+    COMM_REQUIREMENTS,
+    CONFIGURATION_DESCRIPTIONS,
+    CONFIGURATION_ORDER,
+    SOFTWARE_STACK,
+)
+from .system import ActiveConfiguration, ComposableSystem
+
+__all__ = [
+    "ComposableSystem",
+    "ComposableCluster",
+    "JobSpec",
+    "HOTPLUG_SECONDS",
+    "ActiveConfiguration",
+    "SOFTWARE_STACK",
+    "CONFIGURATION_DESCRIPTIONS",
+    "CONFIGURATION_ORDER",
+    "COMM_REQUIREMENTS",
+]

@@ -1,0 +1,59 @@
+"""Static presets: the paper's software stack (Table I) and host
+configuration descriptions (Table III).
+
+Table I is reproduced verbatim as data — it documents the stack whose
+*behaviour* the simulation models (PyTorch DDP semantics, NCCL ring
+collectives, CUDA kernel streams, wandb-style sampled telemetry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SOFTWARE_STACK", "CONFIGURATION_DESCRIPTIONS",
+           "CONFIGURATION_ORDER", "COMM_REQUIREMENTS"]
+
+#: Paper Table I: Software Stack Details.
+SOFTWARE_STACK: dict[str, str] = {
+    "Operating system": "Ubuntu 18.04",
+    "DL Framework": "PyTorch 1.7.1",
+    "CUDA": "10.2.89",
+    "CUDA Driver": "450.102.04",
+    "CUDNN": "cudnn7.6.5",
+    "NCCL": "NCCL 2.8.4",
+    "Profilers": "wandb 0.10.14; NVIDIA Nsight Systems 2020.4.3.7; "
+                 "NVIDIA Nsight Compute 2020.3.0.0",
+}
+
+#: Paper Table III: composable host configurations.
+CONFIGURATION_DESCRIPTIONS: dict[str, str] = {
+    "localGPUs": "8 local GPUs and local storage",
+    "hybridGPUs": "4 local GPUs, 4 falcon GPUs, and local storage",
+    "falconGPUs": "8 falcon-attached GPUs",
+    "localNVMe": "8 local GPUs and local NVMe",
+    "falconNVMe": "8 local GPUs and falcon-attached NVMe",
+}
+
+#: Table III row order.
+CONFIGURATION_ORDER: tuple[str, ...] = (
+    "localGPUs", "hybridGPUs", "falconGPUs", "localNVMe", "falconNVMe")
+
+
+@dataclass(frozen=True)
+class CommRequirement:
+    """One row of the paper's Fig. 5 communications-requirements table."""
+
+    path: str
+    latency: str
+    bandwidth: str
+    link_length: str
+
+
+#: Paper Fig. 5: communications requirements of disaggregation (from [1]).
+COMM_REQUIREMENTS: tuple[CommRequirement, ...] = (
+    CommRequirement("CPU - CPU", "10 ns", "200 - 320 Gbps/CPU", "0.1 - 1 m"),
+    CommRequirement("CPU - Memory", "10 - 50 ns", "300 - 800 Gbps/CPU",
+                    "1 - 5 m"),
+    CommRequirement("CPU - Disk", "1 - 10 us", "5 - 128 Gbps/device",
+                    "5 m - 1 km"),
+)

@@ -1,0 +1,49 @@
+"""Device models: GPUs, CPUs, storage, NICs, and whole host servers.
+
+Each device registers itself as one or more nodes on a
+:class:`~repro.fabric.Topology` and exposes analytic performance methods
+(e.g. :meth:`GPU.compute`, :meth:`StorageDevice.read_to`) whose costs are
+paid in simulated time.
+"""
+
+from .cpu import CPU, CPUSpec, XEON_GOLD_6148, XEON_GOLD_6148_DUAL
+from .gpu import (
+    GPU,
+    GPUSpec,
+    P100_PCIE_16GB,
+    Precision,
+    V100_PCIE_16GB,
+    V100_SXM2_16GB,
+)
+from .host import (
+    HostServer,
+    HostSpec,
+    PCIE_GEN3_X4_NVME,
+    SUPERMICRO_4029GP_TVRT,
+)
+from .nic import NIC, NICSpec, X540_AT2
+from .storage import LOCAL_SCRATCH, SSDPEDKX040T7, StorageDevice, StorageSpec
+
+__all__ = [
+    "GPU",
+    "GPUSpec",
+    "Precision",
+    "V100_SXM2_16GB",
+    "V100_PCIE_16GB",
+    "P100_PCIE_16GB",
+    "CPU",
+    "CPUSpec",
+    "XEON_GOLD_6148",
+    "XEON_GOLD_6148_DUAL",
+    "StorageDevice",
+    "StorageSpec",
+    "SSDPEDKX040T7",
+    "LOCAL_SCRATCH",
+    "NIC",
+    "NICSpec",
+    "X540_AT2",
+    "HostServer",
+    "HostSpec",
+    "SUPERMICRO_4029GP_TVRT",
+    "PCIE_GEN3_X4_NVME",
+]

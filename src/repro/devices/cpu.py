@@ -1,0 +1,106 @@
+"""CPU device model.
+
+Models the host's CPU complex as a pool of cores with busy-time
+accounting.  DL training uses the CPU for data loading, image
+preprocessing (random crop / resize / normalize), tokenization, and the
+framework's Python-side bookkeeping — the paper's Fig. 13 shows the vision
+benchmarks exercising the CPUs noticeably more than the NLP ones for
+exactly this reason.
+
+Work is expressed in *core-seconds*; a job running with ``parallelism``
+worker threads finishes in ``core_seconds / parallelism`` wall seconds
+while occupying that many cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import CounterMonitor, Environment, Resource
+
+__all__ = ["CPU", "CPUSpec", "XEON_GOLD_6148", "XEON_GOLD_6148_DUAL"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Static CPU-complex characteristics."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    base_clock_ghz: float
+    #: Sustained per-core preprocessing throughput scale factor relative to
+    #: a 2.4 GHz Skylake core (used by workload preprocessing cost models).
+    core_perf: float = 1.0
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+
+XEON_GOLD_6148 = CPUSpec(
+    name="Intel Xeon Gold 6148",
+    sockets=1,
+    cores_per_socket=20,
+    base_clock_ghz=2.4,
+)
+
+#: The Supermicro SYS-4029GP-TVRT host's dual-socket configuration.
+XEON_GOLD_6148_DUAL = CPUSpec(
+    name="2x Intel Xeon Gold 6148",
+    sockets=2,
+    cores_per_socket=20,
+    base_clock_ghz=2.4,
+)
+
+
+class CPU:
+    """A simulated CPU complex: core pool plus utilization accounting."""
+
+    def __init__(self, env: Environment, name: str,
+                 spec: CPUSpec = XEON_GOLD_6148_DUAL):
+        self.env = env
+        self.name = name
+        self.spec = spec
+        self.cores = Resource(env, capacity=spec.cores)
+        #: Accumulated core-seconds of completed work.
+        self.busy = CounterMonitor(f"{name}:busy", unit="core-s")
+
+    def run(self, core_seconds: float, parallelism: int = 1):
+        """Execute ``core_seconds`` of work on ``parallelism`` cores.
+
+        Returns a process event that fires when the work completes.  The
+        requested parallelism is capped at the core count.
+        """
+        if core_seconds < 0:
+            raise ValueError("core_seconds must be >= 0")
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        workers = min(parallelism, self.spec.cores)
+        return self.env.process(self._run(core_seconds, workers))
+
+    def _run(self, core_seconds: float, workers: int):
+        requests = [self.cores.request() for _ in range(workers)]
+        for req in requests:
+            yield req
+        duration = core_seconds / workers if core_seconds > 0 else 0.0
+        try:
+            # Zero anchor at start: windowed utilization queries see the
+            # core-seconds spread across the job's span (see GPU model).
+            self.busy.add(self.env.now, 0.0)
+            yield self.env.timeout(duration)
+            self.busy.add(self.env.now, core_seconds)
+        finally:
+            for req in requests:
+                self.cores.release(req)
+        return duration
+
+    def utilization(self, t0: float, t1: float) -> float:
+        """Mean fraction of cores busy over [t0, t1]."""
+        if t1 <= t0:
+            return 0.0
+        core_seconds = self.busy.total_between(t0, t1)
+        return min(1.0, core_seconds / ((t1 - t0) * self.spec.cores))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CPU {self.name} ({self.spec.name})>"

@@ -1,0 +1,127 @@
+"""Experiment harness: one runner per paper table/figure.
+
+============  ==========================================
+Artifact      Entry point
+============  ==========================================
+Table I       :data:`repro.core.SOFTWARE_STACK`
+Table II      :func:`repro.workloads.get_benchmark` summaries
+Table III     :data:`repro.core.CONFIGURATION_DESCRIPTIONS`
+Table IV      :func:`repro.experiments.microbench.table4`
+Fig. 5        :data:`repro.core.COMM_REQUIREMENTS`
+Fig. 9        :func:`repro.experiments.traces.gpu_utilization_trace`
+Figs. 10-14   :func:`repro.experiments.sweeps.gpu_config_sweep`
+Fig. 15       :func:`repro.experiments.sweeps.storage_config_sweep`
+Fig. 16       :func:`repro.experiments.software_opts.software_optimization_study`
+============  ==========================================
+
+Beyond the paper: :mod:`~repro.experiments.sharing` (advanced-mode
+tenancy, ring placement, reconfiguration), :mod:`~repro.experiments.
+resilience` (degraded uplinks), :mod:`~repro.experiments.scale_out`
+(NVLink vs PCIe fabric vs Ethernet), :mod:`~repro.experiments.
+dual_connection` (paper §III-B cabling), :mod:`~repro.experiments.
+scaling_laws` (what actually drives the size-overhead correlation),
+:mod:`~repro.experiments.recommender` (the §VI topology-recommendation
+framework), and :mod:`~repro.experiments.export` (CSV/JSON writers).
+"""
+
+from .dual_connection import DualConnectionResult, dual_connection_study
+from .export import (
+    record_to_dict,
+    records_to_csv,
+    records_to_json,
+    write_records,
+)
+from .microbench import P2PResult, measure_pair, table4
+from .resilience import DegradationResult, degraded_uplink_study
+from .scale_out import ScaleOutResult, allreduce_scale_out_study
+from .scaling_laws import (
+    BatchPoint,
+    ScalingPoint,
+    overhead_vs_batch,
+    overhead_vs_model_size,
+    overhead_vs_width,
+)
+from .recommender import (
+    Recommendation,
+    ResourcePricing,
+    ScoredConfiguration,
+    TopologyRecommender,
+)
+from .runner import ExperimentRecord, run_configuration
+from .sharing import (
+    PlacementResult,
+    ReconfigurationResult,
+    SharingResult,
+    reconfiguration_study,
+    ring_placement_study,
+    tenancy_isolation_study,
+)
+from .stragglers import StragglerPoint, straggler_amplification_study
+from .software_opts import (
+    OptVariant,
+    VARIANTS,
+    software_optimization_study,
+    time_reduction_pct,
+)
+from .sweeps import (
+    GPU_CONFIGS,
+    STORAGE_CONFIGS,
+    gpu_config_sweep,
+    relative_time_rows,
+    storage_config_sweep,
+    telemetry_rows,
+    traffic_rows,
+)
+from .tables import format_value, render_table
+from .traces import UtilizationTrace, count_dips, gpu_utilization_trace
+
+__all__ = [
+    "table4",
+    "P2PResult",
+    "measure_pair",
+    "ExperimentRecord",
+    "run_configuration",
+    "gpu_config_sweep",
+    "storage_config_sweep",
+    "GPU_CONFIGS",
+    "STORAGE_CONFIGS",
+    "relative_time_rows",
+    "telemetry_rows",
+    "traffic_rows",
+    "gpu_utilization_trace",
+    "UtilizationTrace",
+    "count_dips",
+    "software_optimization_study",
+    "OptVariant",
+    "VARIANTS",
+    "time_reduction_pct",
+    "render_table",
+    "format_value",
+    "TopologyRecommender",
+    "ResourcePricing",
+    "Recommendation",
+    "ScoredConfiguration",
+    "SharingResult",
+    "PlacementResult",
+    "ReconfigurationResult",
+    "tenancy_isolation_study",
+    "ring_placement_study",
+    "reconfiguration_study",
+    "DegradationResult",
+    "degraded_uplink_study",
+    "ScaleOutResult",
+    "allreduce_scale_out_study",
+    "DualConnectionResult",
+    "dual_connection_study",
+    "ScalingPoint",
+    "BatchPoint",
+    "overhead_vs_model_size",
+    "overhead_vs_width",
+    "overhead_vs_batch",
+    "StragglerPoint",
+    "straggler_amplification_study",
+    "record_to_dict",
+    "records_to_json",
+    "records_to_csv",
+    "write_records",
+]

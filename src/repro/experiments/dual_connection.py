@@ -1,0 +1,99 @@
+"""Dual-connection drawer study (paper §III-B).
+
+"One host can have two connections to the same drawer.  Each connection
+gives access to four devices.  This improves performance of
+communications between host and devices but may slow communications
+between devices in the two halves of the drawer."
+
+This study trains an 8-GPU job on one drawer cabled both ways:
+
+- **single**: one CDFP connection, all eight GPUs behind one switch —
+  full-speed P2P inside the drawer, one shared host uplink;
+- **dual**: the drawer partitioned into two 4-slot halves, each with its
+  own CDFP connection — twice the host-device bandwidth, but the ring
+  crosses the host root complex between the halves.
+
+Communication-bound models (BERT-large) prefer the single connection;
+input-bound vision models benefit from the doubled uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..devices import (
+    GPU,
+    HostServer,
+    SUPERMICRO_4029GP_TVRT,
+    V100_PCIE_16GB,
+)
+from ..fabric import Falcon4016, Topology
+from ..sim import Environment
+from ..training import (
+    DistributedDataParallel,
+    TrainingConfig,
+    TrainingJob,
+)
+from ..workloads import get_benchmark
+
+__all__ = ["DualConnectionResult", "dual_connection_study"]
+
+
+@dataclass(frozen=True)
+class DualConnectionResult:
+    """Step times (s) for the two §III-B cabling layouts."""
+
+    benchmark: str
+    single_connection: float
+    dual_connection: float
+
+    @property
+    def dual_vs_single_pct(self) -> float:
+        """Positive = dual cabling is slower for this workload."""
+        return 100.0 * (self.dual_connection / self.single_connection
+                        - 1.0)
+
+
+def _run(benchmark: str, dual: bool, sim_steps: int,
+         global_batch: Optional[int]) -> float:
+    env = Environment()
+    topo = Topology(env)
+    host = HostServer(env, topo, "host0", SUPERMICRO_4029GP_TVRT)
+    falcon = Falcon4016(
+        topo, "falcon0",
+        partitioned_drawers=frozenset({0}) if dual else frozenset())
+    if dual:
+        falcon.connect_host("H1", "host0", host.rc_node, drawer=0,
+                            partition=0)
+        falcon.connect_host("H2", "host0", host.rc_node, drawer=0,
+                            partition=1)
+    else:
+        falcon.connect_host("H1", "host0", host.rc_node, drawer=0)
+    gpus: list[GPU] = []
+    for i in range(8):
+        gpu = GPU(env, topo, f"falcon0/gpu{i}", V100_PCIE_16GB)
+        falcon.install_device(gpu.name, drawer=0, slot=i)
+        falcon.allocate(gpu.name, "host0")
+        gpus.append(gpu)
+    config = TrainingConfig(
+        benchmark=get_benchmark(benchmark),
+        strategy=DistributedDataParallel(),
+        global_batch=global_batch,
+        sim_steps=sim_steps,
+        sim_checkpoints=0,
+    )
+    job = TrainingJob(env, topo, host, gpus, host.scratch, config)
+    return job.run().step_time
+
+
+def dual_connection_study(benchmark: str = "bert-large",
+                          sim_steps: int = 6,
+                          global_batch: Optional[int] = None
+                          ) -> DualConnectionResult:
+    """Compare single vs dual drawer cabling for one benchmark."""
+    return DualConnectionResult(
+        benchmark=benchmark,
+        single_connection=_run(benchmark, False, sim_steps, global_batch),
+        dual_connection=_run(benchmark, True, sim_steps, global_batch),
+    )

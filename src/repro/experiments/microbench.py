@@ -1,0 +1,104 @@
+"""GPU-to-GPU microbenchmarks (paper Table IV).
+
+The analog of NVIDIA's ``p2pBandwidthLatencyTest``: for the three pair
+classes of the experimental topology —
+
+- **L-L**: NVLink-adjacent local GPU pairs,
+- **F-L**: a Falcon GPU and a local GPU (crossing the CDFP host link),
+- **F-F**: two Falcon GPUs behind the same drawer switch,
+
+measure bidirectional streaming bandwidth (both directions saturated
+simultaneously, as the CUDA sample does) and one-way small-write latency,
+and report the link protocol in use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ComposableSystem
+from ..fabric import RING_ORDER
+from ..fabric.link import GB, Protocol, US
+from ..fabric.nvlink import HYBRID_CUBE_MESH_EDGES
+
+__all__ = ["P2PResult", "measure_pair", "table4"]
+
+#: Bytes streamed per direction for the bandwidth measurement.
+_BANDWIDTH_BYTES = 4 * GB
+
+
+@dataclass(frozen=True)
+class P2PResult:
+    """One Table IV column."""
+
+    pair_class: str
+    bidirectional_bandwidth_gbs: float
+    p2p_write_latency_us: float
+    protocol: str
+
+
+def measure_pair(system: ComposableSystem, a: str, b: str
+                 ) -> tuple[float, float, str]:
+    """(bidirectional GB/s, latency us, protocol) for one GPU pair."""
+    env = system.env
+    topo = system.topology
+    t0 = env.now
+    fwd = topo.transfer(a, b, _BANDWIDTH_BYTES, label="p2p")
+    rev = topo.transfer(b, a, _BANDWIDTH_BYTES, label="p2p")
+    env.run(until=env.all_of([fwd, rev]))
+    elapsed = env.now - t0
+    bandwidth = 2 * _BANDWIDTH_BYTES / elapsed / GB
+    latency = topo.path_latency(a, b) / US
+    route = topo.route(a, b)
+    protocols = {seg.link.spec.protocol for seg in route.segments}
+    if Protocol.NVLINK2 in protocols:
+        protocol = "NVLink"
+    elif protocols & {Protocol.CDFP}:
+        protocol = "PCI-e 4.0"
+    elif protocols & {Protocol.PCIE4}:
+        protocol = "PCI-e 4.0"
+    else:
+        protocol = "PCI-e 3.0"
+    return bandwidth, latency, protocol
+
+
+def _mean_over_pairs(system_factory, pairs: list[tuple[str, str]],
+                     label: str) -> P2PResult:
+    bandwidths, latencies, protocol = [], [], ""
+    for a, b in pairs:
+        system = system_factory()
+        bw, lat, protocol = measure_pair(system, a, b)
+        bandwidths.append(bw)
+        latencies.append(lat)
+    return P2PResult(
+        pair_class=label,
+        bidirectional_bandwidth_gbs=sum(bandwidths) / len(bandwidths),
+        p2p_write_latency_us=sum(latencies) / len(latencies),
+        protocol=protocol,
+    )
+
+
+def table4() -> dict[str, P2PResult]:
+    """Reproduce Table IV: L-L, F-L, F-F bandwidth/latency/protocol."""
+    factory = ComposableSystem
+
+    # L-L: every NVLink-adjacent local pair (the mesh mixes 1- and
+    # 2-brick pairs; the paper reports the average).
+    ll_pairs = [(f"host0/gpu{a}", f"host0/gpu{b}")
+                for a, b, _ in HYBRID_CUBE_MESH_EDGES]
+
+    # F-L: local GPU <-> falcon GPU across the host adapter.
+    fl_pairs = [("host0/gpu0", "falcon0/gpu0"),
+                ("host0/gpu4", "falcon0/gpu2"),
+                ("host0/gpu1", "falcon0/gpu5")]
+
+    # F-F: falcon GPUs behind the same drawer switch.
+    ff_pairs = [("falcon0/gpu0", "falcon0/gpu1"),
+                ("falcon0/gpu2", "falcon0/gpu3"),
+                ("falcon0/gpu4", "falcon0/gpu5")]
+
+    return {
+        "L-L": _mean_over_pairs(factory, ll_pairs, "L-L"),
+        "F-L": _mean_over_pairs(factory, fl_pairs, "F-L"),
+        "F-F": _mean_over_pairs(factory, ff_pairs, "F-F"),
+    }

@@ -1,0 +1,102 @@
+"""Scale-out comparison: composable fabric vs Ethernet (paper §IV).
+
+The related-work section's refrain — "the key enabler is the network" —
+made concrete: an 8-GPU gradient allreduce placed three ways:
+
+- **local**: one host's NVLink hybrid cube mesh,
+- **falcon**: eight Falcon-attached GPUs over the PCIe fabric,
+- **ethernet**: two hosts with four local GPUs each, ring crossing a
+  10 GbE link twice per phase — the classic scale-out topology the
+  composable chassis is an alternative to.
+
+The result quantifies *why* composability is attractive for medium-scale
+DL: the PCIe fabric sits between NVLink and the commodity network, and
+even the paper's 2x BERT-large overhead beats the Ethernet cliff by an
+order of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ComposableSystem
+from ..devices import HostServer, SUPERMICRO_4029GP_TVRT
+from ..fabric import ETH_10G, RING_ORDER, Topology
+from ..sim import Environment
+from ..training import Communicator
+from ..workloads import bert_large
+
+__all__ = ["ScaleOutResult", "allreduce_scale_out_study"]
+
+
+@dataclass(frozen=True)
+class ScaleOutResult:
+    """Allreduce completion times (s) per placement."""
+
+    nbytes: float
+    local_nvlink: float
+    falcon_pcie: float
+    ethernet_2hosts: float
+
+    @property
+    def falcon_vs_local(self) -> float:
+        return self.falcon_pcie / self.local_nvlink
+
+    @property
+    def ethernet_vs_falcon(self) -> float:
+        return self.ethernet_2hosts / self.falcon_pcie
+
+
+def _time_allreduce(env: Environment, comm: Communicator,
+                    nbytes: float) -> float:
+    t0 = env.now
+    events = [comm.allreduce(rank, nbytes)
+              for rank in range(comm.world_size)]
+    env.run(until=events[0])
+    return env.now - t0
+
+
+def _two_host_ethernet_ring() -> tuple[Environment, Communicator]:
+    """Two hosts, four NVLink-chained GPUs each, 10 GbE between them."""
+    env = Environment()
+    topo = Topology(env)
+    hosts = [HostServer(env, topo, f"host{i}", SUPERMICRO_4029GP_TVRT)
+             for i in range(2)]
+    topo.add_node("lan", kind="eth-switch", transit=True)
+    for host in hosts:
+        # Abstract the bonded NIC pair into the rc<->lan links.
+        topo.add_link(ETH_10G, host.rc_node, "lan")
+    # Ring: an NVLink chain on each host, crossing the LAN twice.
+    quad = [RING_ORDER[i] for i in range(4)]   # NVLink-chained prefix
+    ranks = [hosts[0].gpus[i].name for i in quad] \
+        + [hosts[1].gpus[i].name for i in quad]
+    return env, Communicator(env, topo, ranks)
+
+
+def allreduce_scale_out_study(nbytes: float = 670e6) -> ScaleOutResult:
+    """Time one gradient-sized allreduce on the three placements.
+
+    Default ``nbytes`` is BERT-large's FP16 gradient volume.
+    """
+    local_system = ComposableSystem()
+    env = local_system.env
+    local_ring = [local_system.host.gpus[i].name for i in RING_ORDER]
+    local = _time_allreduce(
+        env, Communicator(env, local_system.topology, local_ring), nbytes)
+
+    falcon_system = ComposableSystem()
+    env = falcon_system.env
+    falcon = _time_allreduce(
+        env, Communicator(env, falcon_system.topology,
+                          [g.name for g in falcon_system.falcon_gpus]),
+        nbytes)
+
+    env, comm = _two_host_ethernet_ring()
+    ethernet = _time_allreduce(env, comm, nbytes)
+
+    return ScaleOutResult(
+        nbytes=nbytes,
+        local_nvlink=local,
+        falcon_pcie=falcon,
+        ethernet_2hosts=ethernet,
+    )

@@ -1,0 +1,169 @@
+"""Parametric model-size scaling of the PCIe-switching overhead.
+
+The paper's Fig. 11 discussion: "We can see the correlation between the
+overhead and the size of the model."  Its evidence is five scattered
+benchmarks; these sweeps make the relationship parametric — and sharpen
+it.  The overhead actually tracks the **communication-to-compute ratio**,
+not raw parameter count:
+
+- :func:`overhead_vs_model_size` sweeps encoder *depth* and
+  :func:`overhead_vs_width` sweeps hidden *width*, both at a fixed
+  per-GPU batch.  Counter-intuitively the overhead mildly *falls* with
+  size along both axes: the fixed-vocabulary embedding table contributes
+  gradient traffic but almost no FLOPs, so the small members of each
+  family are relatively more communication-bound.
+- :func:`overhead_vs_batch` sweeps the per-GPU batch on BERT-large and
+  shows the real mediator: compute scales with the batch while gradient
+  volume does not, so overhead collapses as the batch grows.  Larger
+  models cannot grow their batch (device memory), which is *why* the
+  paper's five benchmarks line up as "bigger model, more overhead" —
+  model size acts through the memory-limited batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ComposableSystem
+from ..devices.gpu import Precision
+from ..training import DistributedDataParallel, TrainingConfig, TrainingJob
+from ..workloads import SQUAD_V11, bert
+from ..workloads.registry import Benchmark
+
+__all__ = ["ScalingPoint", "BatchPoint", "overhead_vs_model_size",
+           "overhead_vs_width", "overhead_vs_batch"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One model size on the overhead curve."""
+
+    num_layers: int
+    params_m: float
+    local_step_time: float
+    falcon_step_time: float
+
+    @property
+    def overhead_pct(self) -> float:
+        return 100.0 * (self.falcon_step_time / self.local_step_time - 1.0)
+
+
+def _bert_family_benchmark(num_layers: int, hidden: int,
+                           heads: int) -> Benchmark:
+    """An ad-hoc registry entry for one family member."""
+    return Benchmark(
+        key=f"bert-{num_layers}L",
+        display_name=f"BERT-{num_layers}L",
+        domain="nlp",
+        model_builder=lambda: bert(f"BERT-{num_layers}L", hidden,
+                                   num_layers, heads, seq_len=384),
+        dataset=SQUAD_V11,
+        global_batch=48,
+        paper_batch_size=48,
+        epochs=2,
+        efficiency={Precision.FP16: 0.220, Precision.FP32: 0.55},
+        paper_depth=num_layers,
+        paper_params_m=0.0,
+        seq_len=384,
+    )
+
+
+def _measure(bench: Benchmark, sim_steps: int) -> dict[str, float]:
+    steps = {}
+    for configuration in ("localGPUs", "falconGPUs"):
+        system = ComposableSystem()
+        active = system.configure(configuration)
+        config = TrainingConfig(benchmark=bench,
+                                strategy=DistributedDataParallel(),
+                                sim_steps=sim_steps,
+                                sim_checkpoints=0)
+        job = TrainingJob(system.env, system.topology, system.host,
+                          list(active.gpus), active.storage, config)
+        steps[configuration] = job.run().step_time
+    return steps
+
+
+def overhead_vs_model_size(layer_counts=(4, 8, 16, 24),
+                           hidden: int = 1024, heads: int = 16,
+                           sim_steps: int = 6) -> list[ScalingPoint]:
+    """Sweep encoder *depth*; measure falcon overhead at each size.
+
+    The per-GPU batch is held at BERT-large's 6 so only the gradient
+    volume (i.e. parameter count) varies across points.
+    """
+    points: list[ScalingPoint] = []
+    for num_layers in layer_counts:
+        bench = _bert_family_benchmark(num_layers, hidden, heads)
+        steps = _measure(bench, sim_steps)
+        points.append(ScalingPoint(
+            num_layers=num_layers,
+            params_m=bench.build().params / 1e6,
+            local_step_time=steps["localGPUs"],
+            falcon_step_time=steps["falconGPUs"],
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One per-GPU batch size on the overhead curve."""
+
+    batch_per_gpu: int
+    local_step_time: float
+    falcon_step_time: float
+
+    @property
+    def overhead_pct(self) -> float:
+        return 100.0 * (self.falcon_step_time / self.local_step_time - 1.0)
+
+
+def overhead_vs_batch(batches=(2, 4, 6), benchmark_key: str = "bert-large",
+                      sim_steps: int = 6,
+                      accumulation_for=frozenset()) -> list[BatchPoint]:
+    """Sweep the per-GPU batch on one model; gradient volume is constant
+    so the communication-to-compute ratio (and the falcon overhead)
+    falls as the batch grows."""
+    from ..workloads import get_benchmark
+    bench = get_benchmark(benchmark_key)
+    points: list[BatchPoint] = []
+    for per_gpu in batches:
+        steps = {}
+        for configuration in ("localGPUs", "falconGPUs"):
+            system = ComposableSystem()
+            active = system.configure(configuration)
+            config = TrainingConfig(
+                benchmark=bench,
+                strategy=DistributedDataParallel(),
+                global_batch=per_gpu * 8,
+                sim_steps=sim_steps,
+                sim_checkpoints=0,
+                accumulation_steps=2 if per_gpu in accumulation_for else 1,
+            )
+            job = TrainingJob(system.env, system.topology, system.host,
+                              list(active.gpus), active.storage, config)
+            steps[configuration] = job.run().step_time
+        points.append(BatchPoint(
+            batch_per_gpu=per_gpu,
+            local_step_time=steps["localGPUs"],
+            falcon_step_time=steps["falconGPUs"],
+        ))
+    return points
+
+
+def overhead_vs_width(widths=(256, 512, 768, 1024), num_layers: int = 12,
+                      sim_steps: int = 6) -> list[ScalingPoint]:
+    """Sweep hidden *width* at fixed depth (the BERT-base -> BERT-large
+    axis); overhead grows with width as GEMM parameters dilute the
+    attention FLOPs."""
+    points: list[ScalingPoint] = []
+    for hidden in widths:
+        heads = max(4, hidden // 64)
+        bench = _bert_family_benchmark(num_layers, hidden, heads)
+        steps = _measure(bench, sim_steps)
+        points.append(ScalingPoint(
+            num_layers=num_layers,
+            params_m=bench.build().params / 1e6,
+            local_step_time=steps["localGPUs"],
+            falcon_step_time=steps["falconGPUs"],
+        ))
+    return points

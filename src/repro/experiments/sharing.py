@@ -1,0 +1,190 @@
+"""Advanced-mode sharing studies (the paper's future-work agenda).
+
+The paper's §VI plans to "evaluate other modes of the system, such as
+advanced mode and dynamic reconfiguration".  Three studies:
+
+- :func:`tenancy_isolation_study` — two hosts share a drawer in advanced
+  mode, each training on its own pair of Falcon GPUs concurrently.  The
+  drawer switch is non-blocking and each host has its own CDFP port, so
+  tenants should see near-zero interference — the architectural selling
+  point of composable isolation.
+- :func:`uplink_contention_study` — the *anti-pattern*: one host runs two
+  concurrent jobs whose Falcon GPUs sit behind the *same* host port, so
+  H2D traffic and ring hops contend on one CDFP cable; compared against
+  placing the jobs in separate drawers (separate ports).
+- :func:`reconfiguration_study` — the cost of moving GPUs between hosts
+  (hot-plug latency) against the throughput gained by rebalancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.cluster import ComposableCluster, HOTPLUG_SECONDS, JobSpec
+
+__all__ = [
+    "SharingResult",
+    "PlacementResult",
+    "ReconfigurationResult",
+    "tenancy_isolation_study",
+    "ring_placement_study",
+    "reconfiguration_study",
+]
+
+
+@dataclass(frozen=True)
+class SharingResult:
+    """Step times (s) with and without a concurrent tenant."""
+
+    benchmark: str
+    solo_step_time: float
+    shared_step_time: float
+
+    @property
+    def interference_pct(self) -> float:
+        """Step-time inflation caused by the co-tenant."""
+        return 100.0 * (self.shared_step_time / self.solo_step_time - 1.0)
+
+
+def _allocate(cluster: ComposableCluster,
+              assignment: dict[str, int]) -> None:
+    done = cluster.reconfigure(assignment)
+    cluster.env.run(until=done)
+
+
+def tenancy_isolation_study(benchmark: str = "bert-base",
+                            sim_steps: int = 6) -> SharingResult:
+    """Two hosts, one drawer, two GPUs each: measure cross-tenant
+    interference under advanced mode."""
+    pairs = {"falcon0/gpu0": 0, "falcon0/gpu1": 0,
+             "falcon0/gpu2": 1, "falcon0/gpu3": 1}
+    job0 = ("falcon0/gpu0", "falcon0/gpu1")
+    job1 = ("falcon0/gpu2", "falcon0/gpu3")
+    batch = 24
+
+    solo_cluster = ComposableCluster(hosts=2)
+    _allocate(solo_cluster, {k: v for k, v in pairs.items() if v == 0})
+    solo = solo_cluster.run_jobs([
+        JobSpec(0, benchmark, job0, global_batch=batch,
+                sim_steps=sim_steps)])[0]
+
+    shared_cluster = ComposableCluster(hosts=2)
+    _allocate(shared_cluster, pairs)
+    shared = shared_cluster.run_jobs([
+        JobSpec(0, benchmark, job0, global_batch=batch,
+                sim_steps=sim_steps),
+        JobSpec(1, benchmark, job1, global_batch=batch,
+                sim_steps=sim_steps),
+    ])[0]
+
+    return SharingResult(benchmark, solo.step_time, shared.step_time)
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Ring-placement study outcomes (step times, seconds)."""
+
+    benchmark: str
+    within_drawer: float
+    across_drawers_solo: float
+    across_drawers_shared: float
+
+    @property
+    def crossing_penalty_pct(self) -> float:
+        """Cost of letting a ring cross the host ports at all."""
+        return 100.0 * (self.across_drawers_solo / self.within_drawer - 1.0)
+
+    @property
+    def interference_pct(self) -> float:
+        """Extra cost when a co-tenant's ring shares those crossings."""
+        return 100.0 * (self.across_drawers_shared
+                        / self.across_drawers_solo - 1.0)
+
+
+def ring_placement_study(benchmark: str = "bert-large",
+                         sim_steps: int = 5) -> PlacementResult:
+    """Device-placement sensitivity under advanced mode.
+
+    A 4-GPU job placed (a) within one drawer (ring never leaves the
+    switch), (b) split 2+2 across drawers (ring crosses both CDFP host
+    ports twice per phase), and (c) split 2+2 while a second identically
+    split job shares the same crossings.  Communication-bound models pay
+    for bad placement and for crossing-sharing co-tenants — exactly the
+    topology-choice insight the composable platform is for.
+    """
+    batch = 24
+    within = tuple(f"falcon0/gpu{i}" for i in (0, 1, 2, 3))
+    across_a = ("falcon0/gpu0", "falcon0/gpu1",
+                "falcon0/gpu4", "falcon0/gpu5")
+    across_b = ("falcon0/gpu2", "falcon0/gpu3",
+                "falcon0/gpu6", "falcon0/gpu7")
+
+    def run(jobs):
+        cluster = ComposableCluster(hosts=1)
+        needed = {g for spec in jobs for g in spec}
+        _allocate(cluster, {g: 0 for g in needed})
+        results = cluster.run_jobs([
+            JobSpec(0, benchmark, spec, global_batch=batch,
+                    sim_steps=sim_steps) for spec in jobs])
+        return results[0].step_time
+
+    return PlacementResult(
+        benchmark=benchmark,
+        within_drawer=run([within]),
+        across_drawers_solo=run([across_a]),
+        across_drawers_shared=run([across_a, across_b]),
+    )
+
+
+@dataclass(frozen=True)
+class ReconfigurationResult:
+    """Cost/benefit of rebalancing GPUs between tenants."""
+
+    benchmark: str
+    gpus_moved: int
+    reconfiguration_seconds: float
+    throughput_before: float
+    throughput_after: float
+
+    @property
+    def breakeven_seconds(self) -> float:
+        """Training seconds after which the move has paid for itself."""
+        gain = self.throughput_after - self.throughput_before
+        if gain <= 0:
+            return float("inf")
+        # Samples foregone during reconfiguration / extra samples per s.
+        return (self.reconfiguration_seconds
+                * self.throughput_before) / gain
+
+
+def reconfiguration_study(benchmark: str = "resnet50",
+                          sim_steps: int = 6) -> ReconfigurationResult:
+    """Grow a tenant from 2 to 4 Falcon GPUs at runtime and report the
+    reconfiguration cost vs the throughput gained."""
+    cluster = ComposableCluster(hosts=2)
+    small = ("falcon0/gpu0", "falcon0/gpu1")
+    extra = ("falcon0/gpu2", "falcon0/gpu3")
+    per_gpu = 128
+
+    _allocate(cluster, {g: 0 for g in small})
+    _allocate(cluster, {g: 1 for g in extra})  # parked on the other host
+    before = cluster.run_jobs([
+        JobSpec(0, benchmark, small, global_batch=per_gpu * 2,
+                sim_steps=sim_steps)])[0]
+
+    t0 = cluster.env.now
+    done = cluster.reconfigure({g: 0 for g in extra})
+    cluster.env.run(until=done)
+    reconfig_time = cluster.env.now - t0
+
+    after = cluster.run_jobs([
+        JobSpec(0, benchmark, small + extra, global_batch=per_gpu * 4,
+                sim_steps=sim_steps)])[0]
+
+    return ReconfigurationResult(
+        benchmark=benchmark,
+        gpus_moved=len(extra),
+        reconfiguration_seconds=reconfig_time,
+        throughput_before=before.throughput,
+        throughput_after=after.throughput,
+    )

@@ -1,0 +1,75 @@
+"""Straggler amplification under synchronous data parallelism.
+
+Synchronous collectives make every rank wait for the slowest: with
+per-kernel time noise of lognormal sigma, the expected step time grows
+with the world size as the maximum of N draws — the classic straggler
+amplification that motivates asynchronous and hierarchical training.
+
+This study enables the simulator's (default-off) kernel jitter and
+measures step-time inflation vs the deterministic baseline as the ring
+grows, on the local NVLink pool where communication itself is cheap (so
+what remains is pure synchronization loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ComposableSystem
+from ..fabric import RING_ORDER
+from ..training import DistributedDataParallel, TrainingConfig, TrainingJob
+from ..workloads import get_benchmark
+
+__all__ = ["StragglerPoint", "straggler_amplification_study"]
+
+
+@dataclass(frozen=True)
+class StragglerPoint:
+    """Step-time inflation at one world size."""
+
+    world_size: int
+    deterministic_step: float
+    jittered_step: float
+
+    @property
+    def amplification_pct(self) -> float:
+        return 100.0 * (self.jittered_step / self.deterministic_step - 1.0)
+
+
+def _step_time(world_size: int, jitter: float, benchmark: str,
+               sim_steps: int, per_gpu_batch: int) -> float:
+    system = ComposableSystem()
+    local_ring = [system.host.gpus[i] for i in RING_ORDER]
+    gpus = local_ring[:world_size]
+    config = TrainingConfig(
+        benchmark=get_benchmark(benchmark),
+        strategy=DistributedDataParallel(),
+        global_batch=per_gpu_batch * world_size,
+        sim_steps=sim_steps,
+        sim_checkpoints=0,
+        kernel_jitter=jitter,
+    )
+    job = TrainingJob(system.env, system.topology, system.host, gpus,
+                      system.host.scratch, config)
+    return job.run().step_time
+
+
+def straggler_amplification_study(world_sizes=(1, 2, 4, 8),
+                                  jitter: float = 0.10,
+                                  benchmark: str = "bert-large",
+                                  sim_steps: int = 10,
+                                  per_gpu_batch: int = 6
+                                  ) -> list[StragglerPoint]:
+    """Measure synchronization loss from kernel jitter vs world size."""
+    if jitter <= 0:
+        raise ValueError("the study needs positive jitter")
+    points = []
+    for n in world_sizes:
+        base = _step_time(n, 0.0, benchmark, sim_steps, per_gpu_batch)
+        noisy = _step_time(n, jitter, benchmark, sim_steps, per_gpu_batch)
+        points.append(StragglerPoint(
+            world_size=n,
+            deterministic_step=base,
+            jittered_step=noisy,
+        ))
+    return points

@@ -1,0 +1,275 @@
+"""Fabric topology: nodes, links, routing, and transfers.
+
+A :class:`Topology` is an undirected multigraph of named nodes connected
+by :class:`~repro.fabric.link.Link` instances.  Nodes carry a *kind* (GPU,
+switch, root complex, ...) and a *transit* flag: data may only be routed
+*through* transit nodes (switches, root complexes, host adapters), never
+through endpoint devices — e.g. two NVLink-non-adjacent GPUs fall back to
+the PCIe path through the root complex exactly as real GPUDirect P2P does.
+
+Routing is latency-weighted Dijkstra with hop-count tie-breaking, cached
+and invalidated whenever the topology changes (devices can be attached and
+detached at runtime — the composability feature under study).
+
+:meth:`Topology.transfer` is the single entry point for data movement: it
+pays the path's fixed latency, then streams bytes through the
+:class:`~repro.fabric.flows.FlowScheduler`, which accounts traffic on each
+link's directional counters.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..sim import Environment, Event, Process
+from .flows import FlowScheduler, Segment
+from .link import Link, LinkSpec, US
+
+__all__ = ["Topology", "Node", "Route", "NoRouteError"]
+
+#: Fixed software/DMA initiation overhead per transfer, seconds.  Combined
+#: with per-link latencies this reproduces Table IV's P2P write latencies.
+DEFAULT_TRANSFER_OVERHEAD = 1.30 * US
+
+
+class NoRouteError(Exception):
+    """No path exists between the requested endpoints."""
+
+
+class LinkFailure(Exception):
+    """An in-flight transfer was aborted by a link failure."""
+
+    def __init__(self, link_name: str):
+        super().__init__(f"link {link_name} failed")
+        self.link_name = link_name
+
+
+@dataclass
+class Node:
+    """A topology node.
+
+    Attributes
+    ----------
+    name:
+        Unique node name, e.g. ``"host0/gpu3"``.
+    kind:
+        Free-form kind tag (``"gpu"``, ``"switch"``, ``"rc"``, ``"nvme"``...).
+    transit:
+        Whether routes may pass *through* this node.
+    """
+
+    name: str
+    kind: str = "device"
+    transit: bool = False
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved path: ordered directed segments plus fixed latency."""
+
+    segments: tuple[Segment, ...]
+    latency: float
+
+    @property
+    def hops(self) -> int:
+        return len(self.segments)
+
+    @property
+    def bandwidth(self) -> float:
+        """Uncontended bottleneck bandwidth of the path (bytes/s/dir)."""
+        if not self.segments:
+            return float("inf")
+        return min(seg.capacity for seg in self.segments)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        if not self.segments:
+            return ()
+        return (self.segments[0].src,) + tuple(
+            seg.dst for seg in self.segments)
+
+
+class Topology:
+    """Mutable fabric graph with routing and fluid transfers."""
+
+    def __init__(self, env: Environment,
+                 transfer_overhead: float = DEFAULT_TRANSFER_OVERHEAD):
+        self.env = env
+        self.scheduler = FlowScheduler(env)
+        self.transfer_overhead = transfer_overhead
+        self._nodes: dict[str, Node] = {}
+        self._adjacency: dict[str, list[Link]] = {}
+        self._route_cache: dict[tuple[str, str], Route] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_node(self, name: str, kind: str = "device",
+                 transit: bool = False) -> Node:
+        """Add a node; name must be unique."""
+        if name in self._nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = Node(name, kind, transit)
+        self._nodes[name] = node
+        self._adjacency[name] = []
+        self._route_cache.clear()
+        return node
+
+    def add_link(self, spec: LinkSpec, a: str, b: str,
+                 name: Optional[str] = None) -> Link:
+        """Connect nodes ``a`` and ``b`` with a new link of ``spec``."""
+        for endpoint in (a, b):
+            if endpoint not in self._nodes:
+                raise KeyError(f"unknown node {endpoint!r}")
+        link = Link(spec, a, b, name)
+        self._adjacency[a].append(link)
+        self._adjacency[b].append(link)
+        self._route_cache.clear()
+        return link
+
+    def remove_link(self, link: Link) -> None:
+        """Disconnect a link (device detach)."""
+        try:
+            self._adjacency[link.a].remove(link)
+            self._adjacency[link.b].remove(link)
+        except (KeyError, ValueError):
+            raise ValueError(f"{link!r} is not part of this topology")
+        self._route_cache.clear()
+
+    # -- fault injection ---------------------------------------------------
+    def degrade_link(self, link: Link, lanes: int) -> None:
+        """Retrain a link at reduced width (PCIe lane failure).
+
+        In-flight flows adopt the reduced bandwidth immediately.
+        """
+        link.retrain(link.spec.scaled(lanes))
+        self._route_cache.clear()
+        self.scheduler.poke()
+
+    def restore_link(self, link: Link, spec: LinkSpec) -> None:
+        """Retrain a link back to a full-width spec."""
+        link.retrain(spec)
+        self._route_cache.clear()
+        self.scheduler.poke()
+
+    def fail_link(self, link: Link) -> int:
+        """Hard-fail a link (cable pull): aborts in-flight transfers with
+        :class:`LinkFailure` and removes the link from the graph.
+        Returns the number of transfers aborted."""
+        killed = self.scheduler.kill_flows_on(link, LinkFailure(link.name))
+        self.remove_link(link)
+        return killed
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node and all its links."""
+        if name not in self._nodes:
+            raise KeyError(f"unknown node {name!r}")
+        for link in list(self._adjacency[name]):
+            self.remove_link(link)
+        del self._adjacency[name]
+        del self._nodes[name]
+        self._route_cache.clear()
+
+    # -- inspection -------------------------------------------------------
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def nodes(self, kind: Optional[str] = None) -> list[Node]:
+        if kind is None:
+            return list(self._nodes.values())
+        return [n for n in self._nodes.values() if n.kind == kind]
+
+    def links_of(self, name: str) -> list[Link]:
+        return list(self._adjacency[name])
+
+    def links(self) -> list[Link]:
+        seen: dict[int, Link] = {}
+        for links in self._adjacency.values():
+            for link in links:
+                seen[link.id] = link
+        return list(seen.values())
+
+    def neighbors(self, name: str) -> list[str]:
+        return [link.other(name) for link in self._adjacency[name]]
+
+    # -- routing ----------------------------------------------------------
+    def route(self, src: str, dst: str) -> Route:
+        """Lowest-latency path from ``src`` to ``dst`` (cached)."""
+        if src not in self._nodes:
+            raise KeyError(f"unknown node {src!r}")
+        if dst not in self._nodes:
+            raise KeyError(f"unknown node {dst!r}")
+        if src == dst:
+            return Route((), 0.0)
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        route = self._dijkstra(src, dst)
+        self._route_cache[(src, dst)] = route
+        return route
+
+    def _dijkstra(self, src: str, dst: str) -> Route:
+        # Cost = (latency, hops); routes may only transit through
+        # transit-enabled nodes, except for the endpoints themselves.
+        dist: dict[str, tuple[float, int]] = {src: (0.0, 0)}
+        parent: dict[str, tuple[str, Link]] = {}
+        heap: list[tuple[float, int, str]] = [(0.0, 0, src)]
+        visited: set[str] = set()
+        while heap:
+            latency, hops, here = heapq.heappop(heap)
+            if here in visited:
+                continue
+            visited.add(here)
+            if here == dst:
+                break
+            if here != src and not self._nodes[here].transit:
+                continue  # cannot route through an endpoint device
+            for link in self._adjacency[here]:
+                there = link.other(here)
+                cost = (latency + link.spec.latency + link.spec.hop_penalty,
+                        hops + 1)
+                if there not in dist or cost < dist[there]:
+                    dist[there] = cost
+                    parent[there] = (here, link)
+                    heapq.heappush(heap, (cost[0], cost[1], there))
+        if dst not in parent:
+            raise NoRouteError(f"no route from {src!r} to {dst!r}")
+        # Reconstruct.
+        segments: list[Segment] = []
+        node = dst
+        while node != src:
+            prev, link = parent[node]
+            segments.append(Segment(link, prev, node))
+            node = prev
+        segments.reverse()
+        latency = sum(s.link.spec.latency + s.link.spec.hop_penalty
+                      for s in segments)
+        return Route(tuple(segments), latency)
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """One-way fixed latency including transfer overhead, seconds."""
+        return self.transfer_overhead + self.route(src, dst).latency
+
+    def path_bandwidth(self, src: str, dst: str) -> float:
+        """Uncontended bottleneck bandwidth, bytes/s per direction."""
+        return self.route(src, dst).bandwidth
+
+    # -- data movement ------------------------------------------------------
+    def transfer(self, src: str, dst: str, nbytes: float,
+                 label: str = "") -> Process:
+        """Move ``nbytes`` from ``src`` to ``dst``; returns a process event.
+
+        The process pays the route's fixed latency plus the shared-
+        bandwidth streaming time, and returns the route taken.
+        """
+        route = self.route(src, dst)  # raises NoRouteError eagerly
+        return self.env.process(self._transfer(route, nbytes, label))
+
+    def _transfer(self, route: Route, nbytes: float, label: str):
+        yield self.env.timeout(self.transfer_overhead + route.latency)
+        if nbytes > 0 and route.segments:
+            yield self.scheduler.start_flow(route.segments, nbytes, label)
+        return route

@@ -1,0 +1,23 @@
+"""Management plane: MCS, BMC monitoring, and the audit event log.
+
+Reproduces the paper's enterprise management layer (§II-B/§II-D): an
+OpenBMC-style chassis monitor, a multi-tenant Management Center Server
+with roles/grants so users only touch their own resources, and a
+structured, exportable event log.
+"""
+
+from .bmc import BMC, LinkHealth, Sensor
+from .events import Event, EventLog
+from .mcs import ManagementCenterServer, PermissionError_, Role, UserAccount
+
+__all__ = [
+    "ManagementCenterServer",
+    "Role",
+    "UserAccount",
+    "PermissionError_",
+    "BMC",
+    "Sensor",
+    "LinkHealth",
+    "Event",
+    "EventLog",
+]

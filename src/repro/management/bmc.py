@@ -1,0 +1,157 @@
+"""OpenBMC-style baseboard management (paper §II-B).
+
+Models the monitoring side of the chassis: temperature and fan sensors
+per drawer, PCIe link-health (accumulated error counters), and threshold
+alerts delivered to the event log — "the BMC can alert administrators to
+any parameters which fall outside of specifications."
+
+Sensor physics are intentionally simple (load-proportional temperature
+with first-order settling) — the point is the management *interface*:
+read sensors, set thresholds, receive alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Environment, TimeSeries
+from .events import EventLog
+
+__all__ = ["BMC", "Sensor", "LinkHealth"]
+
+#: Ambient inlet temperature, Celsius.
+AMBIENT_C = 24.0
+#: Temperature rise at full load, Celsius.
+FULL_LOAD_RISE_C = 46.0
+#: First-order thermal settling constant, seconds.
+THERMAL_TAU_S = 30.0
+
+
+@dataclass
+class Sensor:
+    """One temperature sensor with an alert threshold."""
+
+    name: str
+    value: float = AMBIENT_C
+    threshold: float = 85.0
+    alerted: bool = False
+
+
+@dataclass
+class LinkHealth:
+    """PCIe link-health record (paper: accumulated error count)."""
+
+    name: str
+    correctable_errors: int = 0
+    uncorrectable_errors: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        return self.uncorrectable_errors == 0
+
+
+class BMC:
+    """Chassis BMC: sensors, fans, link health, alerts."""
+
+    def __init__(self, env: Environment, name: str, log: EventLog,
+                 sample_interval: float = 5.0):
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.env = env
+        self.name = name
+        self.log = log
+        self.sample_interval = sample_interval
+        self.sensors: dict[str, Sensor] = {}
+        self.links: dict[str, LinkHealth] = {}
+        self.temperature_history: dict[str, TimeSeries] = {}
+        self.fan_speed_pct = 35.0
+        #: Callable returning current chassis load in [0, 1].
+        self._load_source = lambda: 0.0
+        self._running = False
+
+    # -- configuration ------------------------------------------------------
+    def add_sensor(self, name: str, threshold: float = 85.0) -> Sensor:
+        if name in self.sensors:
+            raise ValueError(f"sensor {name!r} already exists")
+        sensor = Sensor(name, threshold=threshold)
+        self.sensors[name] = sensor
+        self.temperature_history[name] = TimeSeries(f"{name}:temp", "C")
+        return sensor
+
+    def track_link(self, name: str) -> LinkHealth:
+        if name in self.links:
+            raise ValueError(f"link {name!r} already tracked")
+        health = LinkHealth(name)
+        self.links[name] = health
+        return health
+
+    def set_load_source(self, fn) -> None:
+        """Install a 0..1 utilization callable driving the thermal model."""
+        self._load_source = fn
+
+    # -- operation -----------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._monitor_loop())
+
+    def _monitor_loop(self):
+        dt = self.sample_interval
+        alpha = 1.0 - pow(2.718281828, -dt / THERMAL_TAU_S)
+        while True:
+            yield self.env.timeout(dt)
+            load = min(1.0, max(0.0, float(self._load_source())))
+            target = AMBIENT_C + FULL_LOAD_RISE_C * load \
+                - 0.15 * (self.fan_speed_pct - 35.0)
+            for sensor in self.sensors.values():
+                sensor.value += alpha * (target - sensor.value)
+                self.temperature_history[sensor.name].record(
+                    self.env.now, sensor.value)
+                self._check_threshold(sensor)
+            # Simple fan governor: ramp with the hottest sensor.
+            if self.sensors:
+                hottest = max(s.value for s in self.sensors.values())
+                self.fan_speed_pct = min(
+                    100.0, max(35.0, 35.0 + 1.8 * (hottest - 50.0)))
+
+    def _check_threshold(self, sensor: Sensor) -> None:
+        if sensor.value > sensor.threshold and not sensor.alerted:
+            sensor.alerted = True
+            self.log.record(self.env.now, "temperature_alert", self.name,
+                            sensor=sensor.name, value=round(sensor.value, 1),
+                            threshold=sensor.threshold)
+        elif sensor.value < sensor.threshold - 5.0 and sensor.alerted:
+            sensor.alerted = False
+            self.log.record(self.env.now, "temperature_cleared", self.name,
+                            sensor=sensor.name)
+
+    def record_link_error(self, name: str, correctable: bool = True) -> None:
+        """Account a PCIe link error; uncorrectables raise an alert."""
+        health = self.links.get(name)
+        if health is None:
+            raise KeyError(f"link {name!r} is not tracked")
+        if correctable:
+            health.correctable_errors += 1
+        else:
+            health.uncorrectable_errors += 1
+            self.log.record(self.env.now, "link_error", self.name,
+                            link=name, severity="uncorrectable")
+
+    # -- reporting --------------------------------------------------------------
+    def health_report(self) -> dict:
+        """The web interface's temperature/link summary."""
+        return {
+            "fan_speed_pct": self.fan_speed_pct,
+            "sensors": {s.name: round(s.value, 2)
+                        for s in self.sensors.values()},
+            "links": {
+                l.name: {
+                    "correctable": l.correctable_errors,
+                    "uncorrectable": l.uncorrectable_errors,
+                    "healthy": l.healthy,
+                }
+                for l in self.links.values()
+            },
+        }

@@ -1,0 +1,75 @@
+"""Structured event log (paper §II-B: "define event logs for export").
+
+Every state-changing operation on the chassis or the management server is
+recorded as an :class:`Event` with its simulated timestamp, kind, actor,
+and details.  Logs can be filtered and exported as plain data (JSON-able)
+for the administrator's export feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One audit-log entry."""
+
+    time: float
+    kind: str
+    actor: str
+    details: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind, "actor": self.actor,
+                "details": dict(self.details)}
+
+
+class EventLog:
+    """Append-only audit log with filtering and export."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._events: list[Event] = []
+        self._capacity = capacity
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, time: float, kind: str, actor: str = "system",
+               **details: Any) -> Event:
+        event = Event(time, kind, actor, details)
+        self._events.append(event)
+        if self._capacity is not None and len(self._events) > self._capacity:
+            self._events.pop(0)
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Receive every new event (e.g. an alerting hook)."""
+        self._subscribers.append(callback)
+
+    def query(self, kind: Optional[str] = None,
+              actor: Optional[str] = None,
+              since: Optional[float] = None) -> list[Event]:
+        out: Iterable[Event] = self._events
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        if actor is not None:
+            out = (e for e in out if e.actor == actor)
+        if since is not None:
+            out = (e for e in out if e.time >= since)
+        return list(out)
+
+    def export(self) -> list[dict]:
+        """The administrator's event-log export."""
+        return [e.as_dict() for e in self._events]
+
+    def tail(self, n: int = 10) -> list[Event]:
+        return self._events[-n:]

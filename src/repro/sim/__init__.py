@@ -1,0 +1,53 @@
+"""Discrete-event simulation kernel (SimPy-style, from scratch).
+
+Public surface:
+
+- :class:`Environment`, :class:`Event`, :class:`Process`, :class:`Timeout`
+- Composition: :class:`AllOf`, :class:`AnyOf`
+- Exceptions: :class:`Interrupt`, :class:`SimulationError`
+- Resources: :class:`Resource`, :class:`PriorityResource`,
+  :class:`Container`, :class:`Store`, :class:`FilterStore`
+- Instrumentation: :class:`TimeSeries`, :class:`CounterMonitor`
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    StopProcess,
+    Timeout,
+)
+from .monitor import CounterMonitor, SummaryStats, TimeSeries
+from .resources import (
+    Container,
+    FilterStore,
+    Preempted,
+    PriorityResource,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "StopProcess",
+    "Resource",
+    "PriorityResource",
+    "Preempted",
+    "Container",
+    "Store",
+    "FilterStore",
+    "TimeSeries",
+    "CounterMonitor",
+    "SummaryStats",
+]

@@ -1,0 +1,316 @@
+"""Shared-resource primitives for the simulation kernel.
+
+Mirrors the SimPy resource family:
+
+- :class:`Resource` — a pool of ``capacity`` identical slots with FIFO
+  queuing (e.g. DMA engines, NVMe submission queues).
+- :class:`PriorityResource` — slots handed out in priority order.
+- :class:`Container` — a homogeneous quantity that can be ``put`` and
+  ``get`` in fractional amounts (e.g. bytes of free GPU memory).
+- :class:`Store` — a FIFO queue of discrete Python objects (e.g. batches
+  moving through a data pipeline).
+
+Requests are events; processes ``yield`` them and later ``release`` them
+(or use the request as a context manager inside the generator).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Optional
+
+from .core import Environment, Event, SimulationError
+
+__all__ = [
+    "Resource",
+    "PriorityResource",
+    "Preempted",
+    "Container",
+    "Store",
+    "FilterStore",
+]
+
+
+class Request(Event):
+    """A claim on one slot of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    # Allow `with resource.request() as req: yield req` style inside
+    # generator processes.
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class PriorityRequest(Request):
+    """A prioritized claim; lower ``priority`` values are served first."""
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0):
+        self.priority = priority
+        self.time = resource.env.now
+        super().__init__(resource)
+
+
+class Preempted:
+    """Cause object delivered with a preemption interrupt."""
+
+    def __init__(self, by: Any, usage_since: Optional[float]):
+        self.by = by
+        self.usage_since = usage_since
+
+
+class Resource:
+    """``capacity`` identical slots with FIFO queuing."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a slot; grants the next queued request, if any."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError(f"{request!r} does not hold this resource")
+        self._trigger_waiters()
+
+    # -- internals ------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.env.now
+        request.succeed(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            raise SimulationError(f"{request!r} is not queued here")
+
+    def _trigger_waiters(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            self._grant(self.queue.popleft())
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by request priority."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+        else:
+            prio = getattr(request, "priority", 0)
+            heapq.heappush(self._heap, (prio, next(self._counter), request))
+
+    def _cancel(self, request: Request) -> None:
+        for i, (_, _, queued) in enumerate(self._heap):
+            if queued is request:
+                self._heap.pop(i)
+                heapq.heapify(self._heap)
+                return
+        raise SimulationError(f"{request!r} is not queued here")
+
+    def _trigger_waiters(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _, _, request = heapq.heappop(self._heap)
+            self._grant(request)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+
+class ContainerPut(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_queue.append(self)
+        container._update()
+
+
+class ContainerGet(Event):
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_queue.append(self)
+        container._update()
+
+
+class Container:
+    """A homogeneous, divisible quantity with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not (0 <= init <= capacity):
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._put_queue: deque[ContainerPut] = deque()
+        self._get_queue: deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _update(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_queue:
+                put = self._put_queue[0]
+                if self._level + put.amount <= self.capacity:
+                    self._put_queue.popleft()
+                    self._level += put.amount
+                    put.succeed()
+                    progressed = True
+            if self._get_queue:
+                get = self._get_queue[0]
+                if self._level >= get.amount:
+                    self._get_queue.popleft()
+                    self._level -= get.amount
+                    get.succeed(get.amount)
+                    progressed = True
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._update()
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._get_queue.append(self)
+        store._update()
+
+
+class FilterStoreGet(StoreGet):
+    def __init__(self, store: "FilterStore",
+                 predicate: Callable[[Any], bool]):
+        self.predicate = predicate
+        super().__init__(store)
+
+
+class Store:
+    """A FIFO queue of discrete items with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def _update(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            while self._get_queue and self.items:
+                if not self._serve_one_get():
+                    break
+                progressed = True
+
+    def _serve_one_get(self) -> bool:
+        get = self._get_queue.popleft()
+        get.succeed(self.items.popleft())
+        return True
+
+
+class FilterStore(Store):
+    """A store whose gets can select items by predicate."""
+
+    def get(self, predicate: Callable[[Any], bool] = lambda item: True
+            ) -> FilterStoreGet:  # type: ignore[override]
+        return FilterStoreGet(self, predicate)
+
+    def _update(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                progressed = True
+                put.succeed()
+            # Serve any get whose predicate matches an available item.
+            for get in list(self._get_queue):
+                matched = None
+                for item in self.items:
+                    if get.predicate(item):  # type: ignore[attr-defined]
+                        matched = item
+                        break
+                if matched is not None:
+                    self.items.remove(matched)
+                    self._get_queue.remove(get)
+                    get.succeed(matched)
+                    progressed = True

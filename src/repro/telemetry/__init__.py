@@ -1,0 +1,5 @@
+"""Telemetry: sampled system metrics (the wandb / Nsight stand-in)."""
+
+from .collector import MetricsCollector
+
+__all__ = ["MetricsCollector"]

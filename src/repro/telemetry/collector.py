@@ -1,0 +1,169 @@
+"""Sampled system-level metrics (the paper's wandb/Nsight stand-in).
+
+A :class:`MetricsCollector` runs a sampling process inside the simulation
+that periodically records, per watched device:
+
+- GPU utilization (busy seconds per wall second, %) — Figs. 9/10,
+- GPU memory utilization (%) — Fig. 10,
+- GPU memory-access time (% of time HBM-bound) — Fig. 10,
+- CPU utilization (%) — Fig. 13,
+- host memory utilization (%) — Fig. 14.
+
+Each metric is a :class:`~repro.sim.TimeSeries`, so the experiment layer
+can pull both whole-run traces (Fig. 9's utilization-over-time curves)
+and summary statistics (Fig. 10/13/14's per-configuration bars).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..devices.cpu import CPU
+from ..devices.gpu import GPU
+from ..devices.host import HostServer
+from ..sim import Environment, TimeSeries
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Periodic sampler over GPUs, CPUs, and host memory."""
+
+    def __init__(self, env: Environment, sample_interval: float = 0.25):
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.env = env
+        self.sample_interval = sample_interval
+        self._gpus: list[GPU] = []
+        self._cpus: list[CPU] = []
+        self._hosts: list[HostServer] = []
+        self.gpu_util: dict[str, TimeSeries] = {}
+        self.gpu_mem: dict[str, TimeSeries] = {}
+        self.gpu_mem_access: dict[str, TimeSeries] = {}
+        self.cpu_util: dict[str, TimeSeries] = {}
+        self.host_mem: dict[str, TimeSeries] = {}
+        self._running = False
+        self._stopped = False
+        self._finalized = False
+        self._start_time: Optional[float] = None
+        self._sample_times: list[float] = []
+
+    # -- registration -----------------------------------------------------
+    def watch_gpu(self, gpu: GPU) -> None:
+        if gpu.name in self.gpu_util:
+            return
+        self._gpus.append(gpu)
+        self.gpu_util[gpu.name] = TimeSeries(f"{gpu.name}:util", "%")
+        self.gpu_mem[gpu.name] = TimeSeries(f"{gpu.name}:mem", "%")
+        self.gpu_mem_access[gpu.name] = TimeSeries(
+            f"{gpu.name}:mem_access", "%")
+
+    def watch_cpu(self, cpu: CPU) -> None:
+        if cpu.name in self.cpu_util:
+            return
+        self._cpus.append(cpu)
+        self.cpu_util[cpu.name] = TimeSeries(f"{cpu.name}:util", "%")
+
+    def watch_host(self, host: HostServer) -> None:
+        if host.name in self.host_mem:
+            return
+        self._hosts.append(host)
+        self.host_mem[host.name] = TimeSeries(f"{host.name}:mem", "%")
+        self.watch_cpu(host.cpu)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Begin sampling (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._start_time = self.env.now
+        self.env.process(self._sample_loop())
+
+    def stop(self) -> None:
+        """Stop sampling and finalize busy-derived series.
+
+        Gauge metrics (memory levels) are sampled live; *busy-fraction*
+        metrics (GPU/CPU utilization, memory-access time) are derived here
+        from the devices' final busy counters, because querying a trailing
+        window mid-simulation would miss kernels still in flight — the
+        post-hoc read is a consistent estimator over every window.
+        """
+        self._stopped = True
+        self._finalize()
+
+    def _sample_loop(self):
+        dt = self.sample_interval
+        while not self._stopped:
+            yield self.env.timeout(dt)
+            now = self.env.now
+            self._sample_times.append(now)
+            for gpu in self._gpus:
+                self.gpu_mem[gpu.name].record(
+                    now, 100.0 * gpu.memory_utilization)
+            for host in self._hosts:
+                self.host_mem[host.name].record(
+                    now, 100.0 * host.memory_utilization)
+
+    def _finalize(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        # Each sample describes the interval [prev, now]; record it at the
+        # interval *start* so the TimeSeries' sample-and-hold semantics
+        # (values apply forward in time) line up with reality.  A final
+        # interval up to stop time plus a closing point ensure the last
+        # value carries weight in time-weighted statistics.
+        times = list(self._sample_times)
+        if not times or self.env.now > times[-1]:
+            times.append(self.env.now)
+        prev = self._start_time if self._start_time is not None else 0.0
+        for now in times:
+            if now <= prev:
+                continue
+            for gpu in self._gpus:
+                self.gpu_util[gpu.name].record(
+                    prev, 100.0 * gpu.busy_fraction(prev, now))
+                self.gpu_mem_access[gpu.name].record(
+                    prev, 100.0 * gpu.mem_access_fraction(prev, now))
+            for cpu in self._cpus:
+                self.cpu_util[cpu.name].record(
+                    prev, 100.0 * cpu.utilization(prev, now))
+            prev = now
+        for series in (self.gpu_util, self.gpu_mem_access, self.cpu_util):
+            for ts in series.values():
+                last = ts.last()
+                if last is not None and prev > ts.times[-1]:
+                    ts.record(prev, last)
+
+    # -- aggregation ----------------------------------------------------------
+    def mean_gpu_utilization(self, t0: Optional[float] = None,
+                             t1: Optional[float] = None) -> float:
+        """Mean GPU utilization (%) across all watched GPUs."""
+        return self._mean_over(self.gpu_util, t0, t1)
+
+    def mean_gpu_memory(self, t0: Optional[float] = None,
+                        t1: Optional[float] = None) -> float:
+        return self._mean_over(self.gpu_mem, t0, t1)
+
+    def mean_gpu_mem_access(self, t0: Optional[float] = None,
+                            t1: Optional[float] = None) -> float:
+        return self._mean_over(self.gpu_mem_access, t0, t1)
+
+    def mean_cpu_utilization(self, t0: Optional[float] = None,
+                             t1: Optional[float] = None) -> float:
+        return self._mean_over(self.cpu_util, t0, t1)
+
+    def mean_host_memory(self, t0: Optional[float] = None,
+                         t1: Optional[float] = None) -> float:
+        return self._mean_over(self.host_mem, t0, t1)
+
+    @staticmethod
+    def _mean_over(series: dict[str, TimeSeries],
+                   t0: Optional[float], t1: Optional[float]) -> float:
+        values = []
+        for ts in series.values():
+            s = ts.summary(t0, t1)
+            if s.count:
+                values.append(s.time_weighted_mean)
+        return sum(values) / len(values) if values else float("nan")

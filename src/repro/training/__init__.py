@@ -1,0 +1,36 @@
+"""Training engine: collectives, parallel strategies, precision, loop.
+
+This package is the performance-critical heart of the reproduction: it
+schedules actual compute kernels and fabric transfers for data-parallel
+DL training, reproducing the interplay between model size, interconnect
+bandwidth, and software strategy that the paper characterizes.
+"""
+
+from .collectives import CollectiveError, Communicator
+from .loop import TrainingConfig, TrainingJob, TrainingResult
+from .parallel import (
+    DataParallel,
+    DistributedDataParallel,
+    ParallelStrategy,
+    ShardedDataParallel,
+    StepCosts,
+    activation_factor,
+)
+from .precision import AMP_POLICY, FP32_POLICY, PrecisionPolicy
+
+__all__ = [
+    "Communicator",
+    "CollectiveError",
+    "ParallelStrategy",
+    "DataParallel",
+    "DistributedDataParallel",
+    "ShardedDataParallel",
+    "StepCosts",
+    "activation_factor",
+    "PrecisionPolicy",
+    "AMP_POLICY",
+    "FP32_POLICY",
+    "TrainingConfig",
+    "TrainingJob",
+    "TrainingResult",
+]

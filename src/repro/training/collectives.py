@@ -1,0 +1,237 @@
+"""NCCL-style collective communication scheduled on the fabric.
+
+A :class:`Communicator` groups a set of GPU ranks (topology node names)
+and implements the collectives PyTorch DDP/DP rely on — ring allreduce,
+broadcast, reduce, reduce-scatter, all-gather — as *actual transfer
+schedules* on the modelled topology.  Every phase launches the real
+point-to-point transfers, so link contention (e.g. eight Falcon GPUs
+funnelling through host ports, or a hybrid ring crossing the CDFP cable)
+emerges from the fluid-flow fabric rather than from a closed-form cost
+formula.
+
+Collectives are *synchronizing*: each rank calls the operation and the
+returned event fires only when the whole collective completes, with the
+op starting once the slowest rank arrives — exactly how NCCL kernels
+block on stragglers.
+
+The ring order is chosen from the rank list as given; for NVLink-meshed
+local GPUs callers should pass the hybrid-cube-mesh Hamiltonian order
+(:data:`repro.fabric.nvlink.RING_ORDER`) so every hop stays on NVLink.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim import Environment, Event
+from ..fabric.link import Protocol
+from ..fabric.topology import Route, Topology
+
+__all__ = ["Communicator", "CollectiveError", "TRANSPORT_PENALTY"]
+
+#: NCCL transport efficiency, expressed as byte inflation per protocol.
+#: NVLink rings run close to line rate; the PCIe transport stages chunks
+#: through bounce buffers (and, across root ports, through host shared
+#: memory), so sustained collective "bus bandwidth" on PCIe-attached V100s
+#: is roughly half the p2p line rate — the well-known gap between
+#: p2pBandwidthLatencyTest and nccl-tests busbw.  Calibrated so that
+#: BERT-large fine-tuning on falcon-attached GPUs lands at ~2x the local
+#: NVLink configuration (paper Fig. 11).
+TRANSPORT_PENALTY: dict[Protocol, float] = {
+    Protocol.NVLINK2: 1.05,
+    Protocol.PCIE3: 2.2,
+    Protocol.PCIE4: 2.2,
+    Protocol.CDFP: 2.2,
+}
+_DEFAULT_TRANSPORT_PENALTY = 1.5
+
+
+class CollectiveError(Exception):
+    """Mismatched or invalid collective usage."""
+
+
+@dataclass
+class _PendingOp:
+    """One in-flight collective: rank arrival times and the done event."""
+
+    kind: str
+    nbytes: float
+    root: Optional[int]
+    done: Event
+    arrived: dict = field(default_factory=dict)  # rank -> arrival time
+
+
+#: Collectives implemented as NCCL device kernels: a participating GPU
+#: shows busy (nvidia-smi utilization) from the moment its rank launches
+#: the kernel until the collective completes — including time spent
+#: waiting for stragglers.  This is why the paper's Fig. 10 sees *higher*
+#: GPU utilization on Falcon configurations (longer-running communication
+#: kernels), while DP's memcpy-based broadcast/gather leaves GPUs idle.
+_KERNEL_COLLECTIVES = frozenset({"allreduce", "reduce_scatter", "allgather"})
+
+
+class Communicator:
+    """A communicator over an ordered list of GPU node names."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 ranks: list[str], gpus: Optional[list] = None,
+                 transport_penalty: Optional[dict] = None):
+        if len(ranks) < 1:
+            raise CollectiveError("communicator needs at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise CollectiveError("duplicate ranks in communicator")
+        if gpus is not None and len(gpus) != len(ranks):
+            raise CollectiveError("gpus must align with ranks")
+        self.env = env
+        self.topology = topology
+        self.ranks = list(ranks)
+        #: Optional GPU devices per rank, for NCCL-kernel busy accounting.
+        self.gpus = list(gpus) if gpus is not None else None
+        #: Per-protocol byte inflation; override for sensitivity studies.
+        self.transport_penalty = dict(TRANSPORT_PENALTY
+                                      if transport_penalty is None
+                                      else transport_penalty)
+        self._op_seq = [0] * len(ranks)
+        self._pending: dict[int, _PendingOp] = {}
+        #: Completed collective count (introspection).
+        self.completed_ops = 0
+
+    @property
+    def world_size(self) -> int:
+        return len(self.ranks)
+
+    # -- public collectives ------------------------------------------------
+    def allreduce(self, rank: int, nbytes: float) -> Event:
+        """Ring allreduce of ``nbytes`` per rank.  Returns the done event."""
+        return self._join(rank, "allreduce", nbytes, None)
+
+    def reduce_scatter(self, rank: int, nbytes: float) -> Event:
+        """Ring reduce-scatter: each rank ends with 1/N of the reduction."""
+        return self._join(rank, "reduce_scatter", nbytes, None)
+
+    def allgather(self, rank: int, nbytes: float) -> Event:
+        """Ring all-gather of per-rank shards totalling ``nbytes``."""
+        return self._join(rank, "allgather", nbytes, None)
+
+    def broadcast(self, rank: int, nbytes: float, root: int = 0) -> Event:
+        """Root sends ``nbytes`` to every other rank (DP-style fan-out)."""
+        return self._join(rank, "broadcast", nbytes, root)
+
+    def reduce(self, rank: int, nbytes: float, root: int = 0) -> Event:
+        """Every rank sends ``nbytes`` to the root (DP-style fan-in)."""
+        return self._join(rank, "reduce", nbytes, root)
+
+    def barrier(self, rank: int) -> Event:
+        """Synchronize all ranks without moving data."""
+        return self._join(rank, "barrier", 0.0, None)
+
+    # -- rendezvous ---------------------------------------------------------
+    def _join(self, rank: int, kind: str, nbytes: float,
+              root: Optional[int]) -> Event:
+        if not 0 <= rank < self.world_size:
+            raise CollectiveError(f"rank {rank} out of range")
+        if nbytes < 0:
+            raise CollectiveError("nbytes must be >= 0")
+        if root is not None and not 0 <= root < self.world_size:
+            raise CollectiveError(f"root {root} out of range")
+        opid = self._op_seq[rank]
+        self._op_seq[rank] += 1
+        op = self._pending.get(opid)
+        if op is None:
+            op = _PendingOp(kind, nbytes, root, self.env.event())
+            self._pending[opid] = op
+        else:
+            if op.kind != kind or op.nbytes != nbytes or op.root != root:
+                raise CollectiveError(
+                    f"collective mismatch at op {opid}: rank {rank} called "
+                    f"{kind}({nbytes}, root={root}) but op is "
+                    f"{op.kind}({op.nbytes}, root={op.root})")
+        if rank in op.arrived:
+            raise CollectiveError(
+                f"rank {rank} joined op {opid} twice")
+        op.arrived[rank] = self.env.now
+        if self.gpus is not None and kind in _KERNEL_COLLECTIVES:
+            # Anchor: the NCCL kernel launches now on this rank's stream.
+            self.gpus[rank].busy.add(self.env.now, 0.0)
+        if len(op.arrived) == self.world_size:
+            del self._pending[opid]
+            self.env.process(self._execute(op))
+        return op.done
+
+    def _execute(self, op: _PendingOp):
+        if self.world_size == 1 or op.kind == "barrier" or op.nbytes == 0:
+            yield self.env.timeout(0.0)
+        elif op.kind == "allreduce":
+            yield from self._ring_phases(op.nbytes, 2 * (self.world_size - 1))
+        elif op.kind == "reduce_scatter":
+            yield from self._ring_phases(op.nbytes, self.world_size - 1)
+        elif op.kind == "allgather":
+            yield from self._ring_phases(op.nbytes, self.world_size - 1)
+        elif op.kind == "broadcast":
+            yield from self._star(op.root, op.nbytes, outbound=True)
+        elif op.kind == "reduce":
+            yield from self._star(op.root, op.nbytes, outbound=False)
+        else:  # pragma: no cover - guarded by _join
+            raise CollectiveError(f"unknown collective {op.kind!r}")
+        if self.gpus is not None and op.kind in _KERNEL_COLLECTIVES:
+            now = self.env.now
+            for rank, arrival in op.arrived.items():
+                self.gpus[rank].busy.add(now, now - arrival)
+        self.completed_ops += 1
+        op.done.succeed()
+
+    # -- schedules ------------------------------------------------------------
+    def _transport_factor(self, route: Route) -> float:
+        """Byte inflation for NCCL's transport over this route."""
+        factor = 1.0
+        for seg in route.segments:
+            penalty = self.transport_penalty.get(
+                seg.link.spec.protocol, _DEFAULT_TRANSPORT_PENALTY)
+            factor = max(factor, penalty)
+        return factor
+
+    def _send(self, src: str, dst: str, nbytes: float, label: str):
+        """One collective hop, inflated by the transport penalty."""
+        factor = self._transport_factor(self.topology.route(src, dst))
+        return self.topology.transfer(src, dst, nbytes * factor, label)
+
+    def _ring_phases(self, nbytes: float, phases: int):
+        """Ring schedule: ``phases`` rounds of chunk sends to the neighbour.
+
+        Each round, every rank sends ``nbytes / world_size`` to its ring
+        successor concurrently; the round completes when the slowest hop
+        (the bottleneck link, possibly contended) finishes.
+        """
+        chunk = nbytes / self.world_size
+        n = self.world_size
+        for _ in range(phases):
+            transfers = [
+                self._send(self.ranks[i], self.ranks[(i + 1) % n],
+                           chunk, "ring")
+                for i in range(n)
+            ]
+            yield self.env.all_of(transfers)
+
+    def _star(self, root: int, nbytes: float, outbound: bool):
+        """Star schedule: root simultaneously sends to (or receives from)
+        every other rank; the root's links are the natural bottleneck."""
+        others = [i for i in range(self.world_size) if i != root]
+        transfers = []
+        for i in others:
+            if outbound:
+                src, dst = self.ranks[root], self.ranks[i]
+            else:
+                src, dst = self.ranks[i], self.ranks[root]
+            transfers.append(self._send(src, dst, nbytes, "star"))
+        yield self.env.all_of(transfers)
+
+    # -- analytics ------------------------------------------------------------
+    def allreduce_bytes_on_wire(self, nbytes: float) -> float:
+        """Total bytes a ring allreduce moves per rank."""
+        n = self.world_size
+        return 2.0 * (n - 1) / n * nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Communicator world={self.world_size}>"

@@ -1,0 +1,445 @@
+"""The data-parallel training loop (paper Fig. 8's workflow).
+
+Per optimizer step, the simulation executes the paper's data workflow
+end to end:
+
+1. the **dataloader** reads a global batch from storage (unless the
+   dataset is page-cached in host DRAM), preprocesses it on CPU worker
+   cores, and enqueues per-rank micro-batches (bounded prefetch queues
+   give natural pipelining and backpressure);
+2. each **rank process** copies its micro-batch host-to-device over the
+   PCIe/fabric path, then runs the strategy's step schedule (forward,
+   backward with overlapped gradient synchronization, optimizer);
+3. periodically rank 0 **checkpoints**: all ranks synchronize, the
+   weights stream device-to-host and onto storage, and the other GPUs sit
+   idle — producing the sharp utilization dips of the paper's Fig. 9.
+
+Because full training runs take hours of simulated time, a job simulates
+a configurable number of steps plus checkpoints at steady state and
+extrapolates total training time from measured averages (the per-step
+pattern is strictly repetitive, which is the same argument the paper
+makes for training fewer epochs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..devices.gpu import GPU
+from ..devices.host import HostServer
+from ..devices.storage import StorageDevice
+from ..fabric.topology import Topology
+from ..sim import Environment, Store
+from ..telemetry import MetricsCollector
+from ..workloads.registry import Benchmark
+from .collectives import Communicator
+from .parallel import (
+    DistributedDataParallel,
+    ParallelStrategy,
+    StepCosts,
+)
+from .precision import AMP_POLICY, PrecisionPolicy
+
+__all__ = ["TrainingConfig", "TrainingJob", "TrainingResult"]
+
+#: Host-side framework footprint (CUDA pinned buffers, Python runtime...).
+HOST_FRAMEWORK_BYTES = 12e9
+#: Warmup steps excluded from step-time statistics.
+WARMUP_STEPS = 2
+
+
+@dataclass
+class TrainingConfig:
+    """Everything that defines one training run."""
+
+    benchmark: Benchmark
+    strategy: ParallelStrategy = field(default_factory=DistributedDataParallel)
+    policy: PrecisionPolicy = AMP_POLICY
+    #: Global batch size; defaults to the paper's per-benchmark value.
+    global_batch: Optional[int] = None
+    #: Epochs; defaults to the paper's per-benchmark value.
+    epochs: Optional[int] = None
+    #: Steps actually simulated (statistics extrapolate the rest).
+    sim_steps: int = 24
+    #: Checkpoints actually simulated.
+    sim_checkpoints: int = 1
+    #: Real checkpoint cadence, as a fraction of an epoch.
+    checkpoint_every_epoch_fraction: float = 0.25
+    #: Dataloader worker threads (4 per rank on the 8-GPU host).
+    dataloader_workers: int = 32
+    #: Prefetch queue depth (global batches).
+    prefetch_batches: int = 3
+    #: Telemetry sampling interval, seconds.
+    sample_interval: float = 0.25
+    #: Force dataset (non-)residency in the host page cache; None = auto
+    #: (resident when the dataset fits in host DRAM, as ImageNet/COCO/
+    #: SQuAD all do on the 756 GB hosts).
+    dataset_cached: Optional[bool] = None
+    #: Per-protocol NCCL transport byte inflation; None = calibrated
+    #: defaults (sensitivity-study knob).
+    transport_penalty: Optional[dict] = None
+    #: Gradient-accumulation micro-steps per optimizer step.  The global
+    #: batch is split into this many micro-batches per rank (PyTorch
+    #: ``no_sync()`` pattern), trading step latency for activation
+    #: memory — e.g. BERT-large at an effective 96 global batch fits DDP
+    #: with ``accumulation_steps=2``.
+    accumulation_steps: int = 1
+    #: Lognormal sigma of per-kernel time noise (0 = deterministic).
+    kernel_jitter: float = 0.0
+    #: Seed for the jitter RNG (runs are reproducible at fixed seed).
+    jitter_seed: int = 0x5EED
+
+    def resolved_global_batch(self) -> int:
+        return self.global_batch or self.benchmark.global_batch
+
+    def resolved_epochs(self) -> int:
+        return self.epochs or self.benchmark.epochs
+
+
+@dataclass
+class TrainingResult:
+    """Measured and extrapolated outcomes of a training run."""
+
+    benchmark_key: str
+    strategy_name: str
+    policy_name: str
+    world_size: int
+    global_batch: int
+    steps_simulated: int
+    #: Steady-state seconds per optimizer step (mean over measured steps).
+    step_time: float
+    step_time_std: float
+    #: Seconds per checkpoint (device->host->storage, ranks idle).
+    checkpoint_time: float
+    #: First-epoch dataset staging overhead beyond compute, seconds.
+    staging_overhead: float
+    steps_per_epoch: int
+    epochs: int
+    checkpoints_per_epoch: int
+    #: Simulation window over which telemetry was collected.
+    t_start: float
+    t_end: float
+    collector: MetricsCollector
+    #: (start, end) spans spent inside checkpoints (ranks stalled).
+    checkpoint_spans: list[tuple[float, float]] = field(default_factory=list)
+    gpus: list[GPU] = field(repr=False, default_factory=list)
+
+    def steady_windows(self) -> list[tuple[float, float]]:
+        """The measurement window minus checkpoint stalls — the spans over
+        which steady-state traffic and utilization should be averaged."""
+        windows: list[tuple[float, float]] = []
+        cursor = self.t_start
+        for c0, c1 in sorted(self.checkpoint_spans):
+            if c0 > cursor:
+                windows.append((cursor, min(c0, self.t_end)))
+            cursor = max(cursor, c1)
+        if cursor < self.t_end:
+            windows.append((cursor, self.t_end))
+        return windows or [(self.t_start, self.t_end)]
+
+    @property
+    def epoch_time(self) -> float:
+        """Estimated wall seconds per steady-state epoch."""
+        return (self.steps_per_epoch * self.step_time
+                + self.checkpoints_per_epoch * self.checkpoint_time)
+
+    @property
+    def total_time(self) -> float:
+        """Estimated wall seconds for the full training run."""
+        return self.epochs * self.epoch_time + self.staging_overhead
+
+    @property
+    def throughput(self) -> float:
+        """Steady-state samples per second."""
+        return self.global_batch / self.step_time if self.step_time else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "benchmark": self.benchmark_key,
+            "strategy": self.strategy_name,
+            "policy": self.policy_name,
+            "world_size": self.world_size,
+            "global_batch": self.global_batch,
+            "step_time_s": self.step_time,
+            "throughput_samples_s": self.throughput,
+            "epoch_time_s": self.epoch_time,
+            "total_time_s": self.total_time,
+        }
+
+
+class TrainingJob:
+    """One data-parallel training run on a composed system."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 host: HostServer, gpus: list[GPU],
+                 storage: StorageDevice, config: TrainingConfig,
+                 collector: Optional[MetricsCollector] = None):
+        if not gpus:
+            raise ValueError("training needs at least one GPU")
+        self.env = env
+        self.topology = topology
+        self.host = host
+        self.gpus = gpus
+        self.storage = storage
+        self.config = config
+        self.benchmark = config.benchmark
+        self.model = self.benchmark.build()
+        self.world_size = len(gpus)
+        self.global_batch = config.resolved_global_batch()
+        if self.global_batch % self.world_size != 0:
+            raise ValueError(
+                f"global batch {self.global_batch} not divisible by "
+                f"world size {self.world_size}")
+        self.batch_per_gpu = self.global_batch // self.world_size
+        if config.accumulation_steps < 1:
+            raise ValueError("accumulation_steps must be >= 1")
+        if self.batch_per_gpu % config.accumulation_steps != 0:
+            raise ValueError(
+                f"per-GPU batch {self.batch_per_gpu} not divisible by "
+                f"accumulation_steps {config.accumulation_steps}")
+        self.micro_batch_per_gpu = self.batch_per_gpu \
+            // config.accumulation_steps
+        self.comm = Communicator(env, topology, [g.name for g in gpus],
+                                 gpus=gpus,
+                                 transport_penalty=config.transport_penalty)
+        self.costs = StepCosts.for_benchmark(
+            self.model, config.policy,
+            self._batch_adjusted_efficiency(),
+            self.micro_batch_per_gpu,
+            jitter=config.kernel_jitter,
+            seed=config.jitter_seed)
+        self.collector = collector or MetricsCollector(
+            env, config.sample_interval)
+        self.collector.watch_host(host)
+        for gpu in gpus:
+            self.collector.watch_gpu(gpu)
+
+        # Validate device memory up front (the lever behind Fig. 16's
+        # sharded batch-size increase).  Activations are sized by the
+        # micro-batch: accumulation frees memory between micro-steps.
+        per_gpu = config.strategy.memory_per_gpu(
+            self.model, config.policy, self.micro_batch_per_gpu,
+            self.world_size)
+        capacity = min(g.spec.memory_bytes for g in gpus)
+        if per_gpu > capacity:
+            raise MemoryError(
+                f"{self.model.name} with batch {self.batch_per_gpu}/GPU "
+                f"needs {per_gpu / 1e9:.1f} GB > {capacity / 1e9:.1f} GB "
+                f"device memory under {config.strategy.name}")
+        self._gpu_resident_bytes = per_gpu
+
+        # Step bookkeeping.
+        self.steps_per_epoch = self.benchmark.dataset.steps_per_epoch(
+            self.global_batch)
+        frac = config.checkpoint_every_epoch_fraction
+        self.checkpoints_per_epoch = max(1, int(round(1.0 / frac))) \
+            if frac > 0 else 0
+        self._queues = [Store(env, capacity=config.prefetch_batches)
+                        for _ in gpus]
+        self._device_queues = [Store(env, capacity=2) for _ in gpus]
+        self._step_times: list[float] = []
+        self._ckpt_times: list[float] = []
+        self._ckpt_spans: list[tuple[float, float]] = []
+        self._dataset_cached = self._resolve_cached()
+
+    # -- derived quantities ----------------------------------------------------
+    def _batch_adjusted_efficiency(self) -> float:
+        """Sustained efficiency with mild per-GPU batch saturation.
+
+        Larger micro-batches run GEMMs at better tensor-core occupancy;
+        the ``b / (b + 1)`` saturation is anchored at the benchmark's
+        reference per-GPU batch so the registry's calibrated efficiencies
+        apply unchanged at the paper's batch sizes.  This is the lever
+        that makes sharded training's 6 -> 10 batch increase a real
+        per-sample win (paper §V-C.4).
+        """
+        table_eff = self.benchmark.efficiency[self.config.policy.compute]
+        ref_b = max(1.0, self.benchmark.global_batch / 8.0)
+        b = self.micro_batch_per_gpu
+        return table_eff * ((ref_b + 1.0) / ref_b) * (b / (b + 1.0))
+
+    def _resolve_cached(self) -> bool:
+        if self.config.dataset_cached is not None:
+            return self.config.dataset_cached
+        dataset_bytes = self.benchmark.dataset.epoch_disk_bytes()
+        return dataset_bytes + HOST_FRAMEWORK_BYTES \
+            < 0.8 * self.host.spec.memory_bytes
+
+    @property
+    def checkpoint_bytes(self) -> float:
+        """Serialized training state: FP32 weights + optimizer moments."""
+        return self.model.params * 12.0
+
+    def effective_read_bandwidth(self) -> float:
+        """Storage read bandwidth after the random-access penalty."""
+        return self.storage.spec.read_bandwidth
+
+    def staging_time(self) -> float:
+        """Time to pull the dataset from storage once (first epoch)."""
+        dataset_bytes = self.benchmark.dataset.epoch_disk_bytes() \
+            * self.benchmark.disk_read_factor
+        return dataset_bytes / self.effective_read_bandwidth()
+
+    # -- run ---------------------------------------------------------------------
+    def start(self):
+        """Launch the job's processes; returns the completion event.
+
+        Use this (instead of :meth:`run`) to execute several jobs
+        concurrently on a shared environment — e.g. two hosts sharing a
+        Falcon drawer in advanced mode — then :meth:`collect` the results
+        once the environment has run past completion.
+        """
+        if getattr(self, "_done", None) is not None:
+            raise RuntimeError("job already started")
+        self._done = self.env.process(self._main())
+        return self._done
+
+    def run(self) -> TrainingResult:
+        """Execute the simulation and return measured + extrapolated data."""
+        done = self.start()
+        self.env.run(until=done)
+        return self.collect()
+
+    def collect(self) -> TrainingResult:
+        """Assemble the result after the completion event has fired."""
+        if getattr(self, "_done", None) is None or not self._done.processed:
+            raise RuntimeError("job has not finished; run() or env.run() "
+                               "past the event returned by start()")
+        steady = self._step_times[WARMUP_STEPS:] or self._step_times
+        step_mean = float(np.mean(steady))
+        step_std = float(np.std(steady))
+        ckpt_mean = float(np.mean(self._ckpt_times)) \
+            if self._ckpt_times else 0.0
+        # First-epoch staging beyond what steady-state compute hides.
+        if self._dataset_cached:
+            epoch_compute = self.steps_per_epoch * step_mean
+            staging = max(0.0, self.staging_time() - epoch_compute)
+        else:
+            staging = 0.0  # loader reads storage in-band; already in steps
+        return TrainingResult(
+            benchmark_key=self.benchmark.key,
+            strategy_name=self.config.strategy.name,
+            policy_name=self.config.policy.name,
+            world_size=self.world_size,
+            global_batch=self.global_batch,
+            steps_simulated=len(self._step_times),
+            step_time=step_mean,
+            step_time_std=step_std,
+            checkpoint_time=ckpt_mean,
+            staging_overhead=staging,
+            steps_per_epoch=self.steps_per_epoch,
+            epochs=self.config.resolved_epochs(),
+            checkpoints_per_epoch=self.checkpoints_per_epoch,
+            t_start=self._t_start,
+            t_end=self._t_end,
+            collector=self.collector,
+            checkpoint_spans=list(self._ckpt_spans),
+            gpus=self.gpus,
+        )
+
+    # -- processes ------------------------------------------------------------------
+    def _main(self):
+        cfg = self.config
+        # Resident allocations: device memory per GPU, host framework +
+        # page-cached dataset (what Fig. 14's memory utilization shows).
+        for gpu in self.gpus:
+            yield gpu.alloc(self._gpu_resident_bytes)
+        host_resident = HOST_FRAMEWORK_BYTES
+        if self._dataset_cached:
+            host_resident += self.benchmark.dataset.epoch_disk_bytes()
+        host_resident = min(host_resident,
+                            0.95 * self.host.spec.memory_bytes
+                            - self.host.memory.level)
+        if host_resident > 0:
+            yield self.host.alloc_memory(host_resident)
+
+        self.collector.start()
+        self._t_start = self.env.now
+
+        loader = self.env.process(self._dataloader(cfg.sim_steps))
+        feeders = [self.env.process(self._feeder(rank, cfg.sim_steps))
+                   for rank in range(self.world_size)]
+        trainers = [self.env.process(self._trainer(rank, cfg.sim_steps))
+                    for rank in range(self.world_size)]
+        yield self.env.all_of([loader] + feeders + trainers)
+
+        self._t_end = self.env.now
+        self.collector.stop()
+        # Release resident memory so back-to-back jobs can share devices.
+        for gpu in self.gpus:
+            yield gpu.free(self._gpu_resident_bytes)
+        if host_resident > 0:
+            yield self.host.free_memory(host_resident)
+
+    def _dataloader(self, steps: int):
+        """Read + preprocess global batches; feed per-rank queues."""
+        ds = self.benchmark.dataset
+        disk_bytes = ds.disk_bytes_per_sample * self.global_batch \
+            * self.benchmark.disk_read_factor
+        h2d_bytes = ds.h2d_bytes_per_sample * self.global_batch
+        cpu_seconds = ds.preprocess_core_seconds * self.global_batch
+        for step in range(steps):
+            if not self._dataset_cached:
+                yield self.storage.read_to(self.host.dram_node, disk_bytes)
+            yield self.host.alloc_memory(h2d_bytes)
+            if cpu_seconds > 0:
+                yield self.host.cpu.run(cpu_seconds,
+                                        self.config.dataloader_workers)
+            puts = [q.put(step) for q in self._queues]
+            yield self.env.all_of(puts)
+
+    def _feeder(self, rank: int, steps: int):
+        """Pinned-memory prefetch: copy the next micro-batch to the device
+        while the current step computes (PyTorch's non_blocking H2D)."""
+        gpu = self.gpus[rank]
+        h2d_rank = self.benchmark.dataset.h2d_bytes_per_sample \
+            * self.batch_per_gpu
+        for _ in range(steps):
+            item = yield self._queues[rank].get()
+            yield self.topology.transfer(self.host.dram_node, gpu.name,
+                                         h2d_rank, label="h2d")
+            yield self.host.free_memory(h2d_rank)
+            yield self._device_queues[rank].put(item)
+
+    def _trainer(self, rank: int, steps: int):
+        """One rank: await the prefetched batch, run the strategy step,
+        take periodic checkpoints."""
+        cfg = self.config
+        ckpt_steps = self._checkpoint_steps(steps, cfg.sim_checkpoints)
+        for step in range(steps):
+            step_t0 = self.env.now
+            yield self._device_queues[rank].get()
+            yield from cfg.strategy.run_step(
+                self.env, self.comm, self.gpus, rank, self.costs,
+                accumulation=cfg.accumulation_steps)
+            if rank == 0:
+                self._step_times.append(self.env.now - step_t0)
+            if step in ckpt_steps:
+                yield from self._checkpoint(rank)
+
+    @staticmethod
+    def _checkpoint_steps(steps: int, count: int) -> frozenset[int]:
+        """Deterministic checkpoint positions, identical on every rank."""
+        if count <= 0 or steps <= 0:
+            return frozenset()
+        every = max(1, steps // (count + 1))
+        positions = [(i + 1) * every - 1 for i in range(count)]
+        return frozenset(p for p in positions if p < steps)
+
+    def _checkpoint(self, rank: int):
+        """All ranks synchronize; rank 0 streams state to storage."""
+        yield self.comm.barrier(rank)
+        if rank == 0:
+            t0 = self.env.now
+            nbytes = self.checkpoint_bytes
+            yield self.topology.transfer(self.gpus[0].name,
+                                         self.host.dram_node, nbytes,
+                                         label="d2h-ckpt")
+            yield self.storage.write_from(self.host.dram_node, nbytes)
+            self._ckpt_times.append(self.env.now - t0)
+            self._ckpt_spans.append((t0, self.env.now))
+        yield self.comm.barrier(rank)

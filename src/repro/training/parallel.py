@@ -1,0 +1,298 @@
+"""Data-parallel training strategies: DP, DDP, and sharded (ZeRO-style).
+
+These reproduce the software-level optimization axis of the paper's
+§V-C.4 / Fig. 16:
+
+- :class:`DataParallel` (PyTorch ``nn.DataParallel``): one master GPU
+  broadcasts parameters every iteration and gathers all gradients back —
+  the master's links bottleneck the step, GPUs idle during the funnel-in,
+  and utilization suffers, "especially for large models".
+- :class:`DistributedDataParallel` (PyTorch DDP): one process per GPU,
+  bucketed ring allreduce overlapped with the backward pass.
+- :class:`ShardedDataParallel` (ZeRO-style): DDP communication restructured
+  as reduce-scatter + all-gather with optimizer state, master weights, and
+  gradients partitioned across replicas — the memory saving is what lets
+  the paper push BERT-large's per-GPU batch from 6 to 10.
+
+Each strategy provides both a *memory model* (what fits on a 16 GB V100)
+and a *step schedule* (a generator executed by each rank's training
+process, issuing real compute kernels and collectives).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..devices.gpu import GPU, Precision
+from ..workloads.layers import ModelGraph
+from .collectives import Communicator
+from .precision import PrecisionPolicy
+
+__all__ = [
+    "StepCosts",
+    "ParallelStrategy",
+    "DataParallel",
+    "DistributedDataParallel",
+    "ShardedDataParallel",
+    "FRAMEWORK_OVERHEAD_BYTES",
+    "activation_factor",
+]
+
+#: CUDA context + cuDNN/cuBLAS workspaces + allocator fragmentation.
+FRAMEWORK_OVERHEAD_BYTES = 3.0e9
+#: Autograd keeps saved tensors beyond layer outputs; transformers hold
+#: attention probabilities and per-head intermediates, CNNs benefit from
+#: in-place activations.  Multipliers on the per-sample activation bytes.
+_TRANSFORMER_ACTIVATION_FACTOR = 3.2
+_CNN_ACTIVATION_FACTOR = 1.2
+
+#: DDP default gradient bucket size (PyTorch's 25 MB).
+DEFAULT_BUCKET_BYTES = 25e6
+#: Fraction of backward time after which the first bucket is ready.
+_FIRST_BUCKET_FRACTION = 0.25
+
+
+def activation_factor(model: ModelGraph) -> float:
+    """Autograd activation-memory multiplier for a model family."""
+    if model.family == "transformer":
+        return _TRANSFORMER_ACTIVATION_FACTOR
+    return _CNN_ACTIVATION_FACTOR
+
+
+@dataclass(frozen=True)
+class StepCosts:
+    """Per-rank, per-step analytic costs handed to a strategy."""
+
+    model: ModelGraph
+    policy: PrecisionPolicy
+    efficiency: float
+    batch_per_gpu: int
+    #: FLOPs for forward / backward of this rank's micro-batch.
+    forward_flops: float
+    backward_flops: float
+    #: HBM traffic for forward / backward of this rank's micro-batch.
+    forward_hbm_bytes: float
+    backward_hbm_bytes: float
+    #: Gradient bytes on the wire for this replica.
+    gradient_bytes: float
+    #: Weight bytes at compute precision (all-gather volume for sharded).
+    weight_bytes: float
+    #: Multiplicative kernel-time noise (sigma of a lognormal).  0 keeps
+    #: the simulation fully deterministic; >0 models real-system variance
+    #: (clock throttling, cache effects, OS noise) and lets the
+    #: straggler-amplification study quantify how collectives propagate
+    #: the slowest rank's jitter to everyone.
+    jitter: float = 0.0
+    #: Seeded RNG backing the jitter (shared across ranks of one job).
+    rng: object = None
+
+    @classmethod
+    def for_benchmark(cls, model: ModelGraph, policy: PrecisionPolicy,
+                      efficiency: float, batch_per_gpu: int,
+                      jitter: float = 0.0,
+                      seed: int = 0x5EED) -> "StepCosts":
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        fwd = model.forward_flops_per_sample * batch_per_gpu
+        bwd = 2.0 * fwd
+        hbm = model.hbm_bytes_per_sample(policy.compute) * batch_per_gpu
+        rng = None
+        if jitter > 0:
+            import numpy as np
+            rng = np.random.default_rng(seed)
+        return cls(
+            model=model,
+            policy=policy,
+            efficiency=efficiency,
+            batch_per_gpu=batch_per_gpu,
+            forward_flops=fwd,
+            backward_flops=bwd,
+            forward_hbm_bytes=hbm / 3.0,
+            backward_hbm_bytes=2.0 * hbm / 3.0,
+            gradient_bytes=policy.gradient_bytes(model),
+            weight_bytes=model.weight_bytes(policy.compute),
+            jitter=jitter,
+            rng=rng,
+        )
+
+    def jitter_factor(self) -> float:
+        """One multiplicative noise sample (1.0 when jitter is off)."""
+        if self.rng is None:
+            return 1.0
+        return float(self.rng.lognormal(mean=0.0, sigma=self.jitter))
+
+
+class ParallelStrategy:
+    """Base strategy: memory model + per-rank step schedule."""
+
+    name = "base"
+    #: Whether optimizer state / master weights / gradients are sharded.
+    sharded = False
+
+    # -- memory model --------------------------------------------------------
+    def memory_per_gpu(self, model: ModelGraph, policy: PrecisionPolicy,
+                       batch_per_gpu: int, world_size: int) -> float:
+        """Bytes of device memory one replica needs."""
+        weights = model.weight_bytes(policy.compute)
+        grads = model.gradient_bytes(policy.compute)
+        if policy.compute is Precision.FP16 and policy.master_weights:
+            # FP32 master + two Adam moments.
+            opt = model.params * 12.0
+        else:
+            # Weights are already FP32; two Adam moments.
+            opt = model.params * 8.0
+        if self.sharded and world_size > 1:
+            opt /= world_size
+            grads /= world_size
+        activations = (model.activation_bytes_per_sample(policy.compute)
+                       * batch_per_gpu * activation_factor(model))
+        return (FRAMEWORK_OVERHEAD_BYTES + weights + grads + opt
+                + activations)
+
+    def max_batch_per_gpu(self, model: ModelGraph, policy: PrecisionPolicy,
+                          gpu_memory_bytes: float, world_size: int) -> int:
+        """Largest per-GPU batch that fits in device memory."""
+        fixed = self.memory_per_gpu(model, policy, 0, world_size)
+        free = gpu_memory_bytes - fixed
+        per_sample = (model.activation_bytes_per_sample(policy.compute)
+                      * activation_factor(model))
+        if free <= 0 or per_sample <= 0:
+            return 0
+        return int(free / per_sample)
+
+    # -- step schedule ----------------------------------------------------------
+    def run_step(self, env, comm: Communicator, gpus: list[GPU], rank: int,
+                 costs: StepCosts, accumulation: int = 1):
+        """Generator: compute + communication for one optimizer step.
+
+        ``costs`` describes one *micro-batch*; with ``accumulation > 1``
+        the strategy runs that many forward/backward passes, synchronizing
+        gradients only on the last one (PyTorch's ``no_sync()`` pattern).
+        Called after the rank's H2D input copy has completed.
+        """
+        raise NotImplementedError
+
+    # -- shared kernels -----------------------------------------------------------
+    def _forward(self, gpus, rank, costs):
+        return gpus[rank].compute(costs.forward_flops
+                                  * costs.jitter_factor(),
+                                  costs.forward_hbm_bytes,
+                                  costs.policy.compute, costs.efficiency)
+
+    def _backward(self, gpus, rank, costs):
+        return gpus[rank].compute(costs.backward_flops
+                                  * costs.jitter_factor(),
+                                  costs.backward_hbm_bytes,
+                                  costs.policy.compute, costs.efficiency)
+
+    def _optimizer(self, gpus, rank, costs, shard: float = 1.0):
+        params = costs.model.params * shard
+        # Adam: read/update weights, master, moments (~20 bytes/param);
+        # trivially few FLOPs, so the kernel is HBM-bound.
+        return gpus[rank].compute(5.0 * params, 20.0 * params,
+                                  Precision.FP32, 0.9)
+
+    def _step_overhead(self, env, costs, base_time: float):
+        overhead = costs.policy.step_overhead * base_time
+        return env.timeout(overhead)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+class DataParallel(ParallelStrategy):
+    """Single-process DP: master GPU broadcasts weights and gathers grads."""
+
+    name = "dp"
+
+    def __init__(self, master_rank: int = 0):
+        self.master_rank = master_rank
+
+    def run_step(self, env, comm, gpus, rank, costs, accumulation=1):
+        t0 = env.now
+        # Master replicates parameters to every GPU, every iteration.
+        yield comm.broadcast(rank, costs.weight_bytes,
+                             root=self.master_rank)
+        for _ in range(accumulation):
+            yield self._forward(gpus, rank, costs)
+            yield self._backward(gpus, rank, costs)
+        # All gradients funnel into the master (no overlap in DP).
+        yield comm.reduce(rank, costs.gradient_bytes,
+                          root=self.master_rank)
+        if rank == self.master_rank:
+            yield self._optimizer(gpus, rank, costs)
+        # Everyone waits for the master's update before the next iteration.
+        yield comm.barrier(rank)
+        yield self._step_overhead(env, costs, env.now - t0)
+
+
+class DistributedDataParallel(ParallelStrategy):
+    """DDP: bucketed ring allreduce overlapped with the backward pass."""
+
+    name = "ddp"
+
+    def __init__(self, bucket_bytes: float = DEFAULT_BUCKET_BYTES):
+        if bucket_bytes <= 0:
+            raise ValueError("bucket_bytes must be positive")
+        self.bucket_bytes = bucket_bytes
+
+    def _bucket_plan(self, costs: StepCosts,
+                     backward_time: float) -> list[tuple[float, float]]:
+        """(ready_time, bucket_bytes) pairs across the backward pass."""
+        total = costs.gradient_bytes
+        n = max(1, math.ceil(total / self.bucket_bytes))
+        per = total / n
+        plan = []
+        for i in range(n):
+            frac = _FIRST_BUCKET_FRACTION \
+                + (1.0 - _FIRST_BUCKET_FRACTION) * (i + 1) / n
+            plan.append((frac * backward_time, per))
+        return plan
+
+    def _sync_bucket(self, env, comm, rank, delay, nbytes):
+        yield env.timeout(delay)
+        yield self._collective(comm, rank, nbytes)
+
+    def _collective(self, comm, rank, nbytes):
+        return comm.allreduce(rank, nbytes)
+
+    def run_step(self, env, comm, gpus, rank, costs, accumulation=1):
+        t0 = env.now
+        # Accumulation micro-steps run without gradient sync (no_sync()).
+        for _ in range(max(0, accumulation - 1)):
+            yield self._forward(gpus, rank, costs)
+            yield self._backward(gpus, rank, costs)
+        yield self._forward(gpus, rank, costs)
+        backward_time = gpus[rank].kernel_time(
+            costs.backward_flops, costs.backward_hbm_bytes,
+            costs.policy.compute, costs.efficiency)
+        backward = self._backward(gpus, rank, costs)
+        buckets = [
+            env.process(self._sync_bucket(env, comm, rank, ready, nbytes))
+            for ready, nbytes in self._bucket_plan(costs, backward_time)
+        ]
+        yield env.all_of([backward] + buckets)
+        yield from self._post_sync(env, comm, gpus, rank, costs)
+        yield self._step_overhead(env, costs, env.now - t0)
+
+    def _post_sync(self, env, comm, gpus, rank, costs):
+        yield self._optimizer(gpus, rank, costs)
+
+
+class ShardedDataParallel(DistributedDataParallel):
+    """ZeRO-style sharding: reduce-scatter + all-gather, partitioned state."""
+
+    name = "sharded"
+    sharded = True
+
+    def _collective(self, comm, rank, nbytes):
+        return comm.reduce_scatter(rank, nbytes)
+
+    def _post_sync(self, env, comm, gpus, rank, costs):
+        # Each rank updates only its 1/N shard, then re-materializes the
+        # full parameter set via all-gather.
+        yield self._optimizer(gpus, rank, costs,
+                              shard=1.0 / comm.world_size)
+        yield comm.allgather(rank, costs.weight_bytes)

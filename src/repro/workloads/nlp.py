@@ -1,0 +1,83 @@
+"""NLP model builders: BERT-base and BERT-large for SQuAD fine-tuning.
+
+Transformer encoders built layer by layer (Devlin et al., 2019): WordPiece
+/ position / segment embeddings, ``L`` encoder blocks of multi-head
+self-attention plus a 4x feed-forward network, and the span-prediction QA
+head used for SQuAD.  Parameter counts are derived from the layer math and
+land on Table II's 110M (base) and ~340M (large).
+
+The paper fine-tunes with max sequence length 384; attention FLOPs scale
+with the square of this, which is what makes the BERT benchmarks GPU-
+compute and GPU-memory bound (paper §V-C.2).
+"""
+
+from __future__ import annotations
+
+from .layers import (
+    ModelGraph,
+    activation,
+    embedding,
+    layernorm,
+    linear,
+    multihead_attention,
+)
+
+__all__ = ["bert", "bert_base", "bert_large", "BERT_VOCAB_SIZE"]
+
+#: WordPiece vocabulary of the original BERT release.
+BERT_VOCAB_SIZE = 30522
+#: Maximum position embeddings.
+BERT_MAX_POSITIONS = 512
+#: Token type (segment) vocabulary.
+BERT_TYPE_VOCAB = 2
+
+
+def bert(name: str, hidden: int, num_layers: int, heads: int,
+         seq_len: int = 384, vocab: int = BERT_VOCAB_SIZE,
+         qa_head: bool = True) -> ModelGraph:
+    """A BERT-style transformer encoder with optional SQuAD QA head."""
+    if seq_len <= 0 or seq_len > BERT_MAX_POSITIONS:
+        raise ValueError(
+            f"seq_len must be in (0, {BERT_MAX_POSITIONS}], got {seq_len}")
+    g = ModelGraph(name, family="transformer")
+    intermediate = 4 * hidden
+
+    # Embeddings.
+    g.add(embedding("embeddings.word", vocab, hidden, seq_len))
+    g.add(embedding("embeddings.position", BERT_MAX_POSITIONS, hidden,
+                    seq_len))
+    g.add(embedding("embeddings.token_type", BERT_TYPE_VOCAB, hidden,
+                    seq_len))
+    g.add(layernorm("embeddings.ln", hidden, seq_len))
+
+    # Encoder blocks.
+    for i in range(num_layers):
+        prefix = f"encoder.layer{i}"
+        g.add(multihead_attention(f"{prefix}.attention", hidden, heads,
+                                  seq_len))
+        g.add(layernorm(f"{prefix}.attention.ln", hidden, seq_len))
+        g.add(linear(f"{prefix}.ffn.intermediate", hidden, intermediate,
+                     tokens=seq_len))
+        g.add(activation(f"{prefix}.ffn.gelu", intermediate * seq_len))
+        g.add(linear(f"{prefix}.ffn.output", intermediate, hidden,
+                     tokens=seq_len))
+        g.add(layernorm(f"{prefix}.ffn.ln", hidden, seq_len))
+
+    # Pooler (part of the pretrained checkpoint).
+    g.add(linear("pooler", hidden, hidden, tokens=1))
+    if qa_head:
+        # SQuAD span classifier: start/end logits per token.
+        g.add(linear("qa_outputs", hidden, 2, tokens=seq_len))
+    return g
+
+
+def bert_base(seq_len: int = 384) -> ModelGraph:
+    """BERT-base: 12 layers, hidden 768, 12 heads (~110M params)."""
+    return bert("BERT-base", hidden=768, num_layers=12, heads=12,
+                seq_len=seq_len)
+
+
+def bert_large(seq_len: int = 384) -> ModelGraph:
+    """BERT-large: 24 layers, hidden 1024, 16 heads (~340M params)."""
+    return bert("BERT-large", hidden=1024, num_layers=24, heads=16,
+                seq_len=seq_len)

@@ -1,0 +1,129 @@
+"""Tests for the multi-host cluster and advanced-mode tenancy."""
+
+import pytest
+
+from repro import ComposableCluster, JobSpec
+from repro.core.cluster import HOTPLUG_SECONDS
+from repro.fabric import FalconMode
+
+
+@pytest.fixture()
+def cluster():
+    return ComposableCluster(hosts=3)
+
+
+class TestConstruction:
+    def test_three_hosts_share_drawer0(self, cluster):
+        assert cluster.falcon.mode is FalconMode.ADVANCED
+        assert set(cluster.falcon.hosts_of_drawer(0)) == \
+            {"host0", "host1", "host2"}
+        assert cluster.falcon.hosts_of_drawer(1) == ["host0"]
+
+    def test_host_count_validation(self):
+        with pytest.raises(ValueError):
+            ComposableCluster(hosts=0)
+        with pytest.raises(ValueError):
+            ComposableCluster(hosts=5)
+
+    def test_single_host_cluster(self):
+        cluster = ComposableCluster(hosts=1)
+        assert cluster.falcon.hosts_of_drawer(0) == ["host0"]
+        assert cluster.falcon.hosts_of_drawer(1) == ["host0"]
+
+    def test_devices_start_unallocated(self, cluster):
+        assert all(cluster.falcon.owner_of(g.name) is None
+                   for g in cluster.falcon_gpus)
+
+    def test_gpu_lookup(self, cluster):
+        assert cluster.gpu_by_name("falcon0/gpu3").name == "falcon0/gpu3"
+        assert cluster.gpu_by_name("host1/gpu0").name == "host1/gpu0"
+        with pytest.raises(KeyError):
+            cluster.gpu_by_name("ghost")
+
+
+class TestHotplug:
+    def test_allocate_takes_hotplug_time(self, cluster):
+        t0 = cluster.env.now
+        done = cluster.allocate("falcon0/gpu0", 0)
+        cluster.env.run(until=done)
+        assert cluster.env.now - t0 == pytest.approx(HOTPLUG_SECONDS)
+        assert cluster.falcon.owner_of("falcon0/gpu0") == "host0"
+
+    def test_reallocation_moves_device(self, cluster):
+        cluster.env.run(until=cluster.allocate("falcon0/gpu0", 0))
+        cluster.env.run(until=cluster.allocate("falcon0/gpu0", 1))
+        assert cluster.falcon.owner_of("falcon0/gpu0") == "host1"
+
+    def test_bulk_reconfigure_sequential_cost(self, cluster):
+        t0 = cluster.env.now
+        done = cluster.reconfigure({"falcon0/gpu0": 0, "falcon0/gpu1": 0,
+                                    "falcon0/gpu2": 1})
+        cluster.env.run(until=done)
+        assert cluster.env.now - t0 == pytest.approx(3 * HOTPLUG_SECONDS)
+
+
+class TestConcurrentJobs:
+    def test_two_tenants_run_concurrently(self, cluster):
+        cluster.env.run(until=cluster.reconfigure({
+            "falcon0/gpu0": 0, "falcon0/gpu1": 0,
+            "falcon0/gpu2": 1, "falcon0/gpu3": 1}))
+        results = cluster.run_jobs([
+            JobSpec(0, "bert-base", ("falcon0/gpu0", "falcon0/gpu1"),
+                    global_batch=24, sim_steps=5),
+            JobSpec(1, "bert-base", ("falcon0/gpu2", "falcon0/gpu3"),
+                    global_batch=24, sim_steps=5),
+        ])
+        assert len(results) == 2
+        assert all(r.step_time > 0 for r in results)
+        # Near-perfect isolation across tenants (separate ports, non-
+        # blocking drawer switch).
+        assert results[0].step_time == pytest.approx(results[1].step_time,
+                                                     rel=0.05)
+
+    def test_job_on_foreign_device_rejected(self, cluster):
+        cluster.env.run(until=cluster.allocate("falcon0/gpu0", 1))
+        with pytest.raises(PermissionError):
+            cluster.run_jobs([
+                JobSpec(0, "bert-base", ("falcon0/gpu0",),
+                        global_batch=12, sim_steps=2)])
+
+    def test_local_gpus_need_no_allocation(self, cluster):
+        results = cluster.run_jobs([
+            JobSpec(1, "bert-base",
+                    ("host1/gpu0", "host1/gpu1"),
+                    global_batch=24, sim_steps=4)])
+        assert results[0].world_size == 2
+
+    def test_empty_jobs(self, cluster):
+        assert cluster.run_jobs([]) == []
+
+
+class TestJobLifecycle:
+    def test_double_start_rejected(self, cluster):
+        from repro.training import TrainingConfig, TrainingJob
+        from repro.workloads import get_benchmark
+        cluster.env.run(until=cluster.reconfigure({"falcon0/gpu0": 0,
+                                                   "falcon0/gpu1": 0}))
+        config = TrainingConfig(benchmark=get_benchmark("bert-base"),
+                                global_batch=24, sim_steps=2)
+        gpus = [cluster.gpu_by_name("falcon0/gpu0"),
+                cluster.gpu_by_name("falcon0/gpu1")]
+        job = TrainingJob(cluster.env, cluster.topology, cluster.hosts[0],
+                          gpus, cluster.hosts[0].scratch, config)
+        job.start()
+        with pytest.raises(RuntimeError):
+            job.start()
+
+    def test_collect_before_done_rejected(self, cluster):
+        from repro.training import TrainingConfig, TrainingJob
+        from repro.workloads import get_benchmark
+        config = TrainingConfig(benchmark=get_benchmark("bert-base"),
+                                global_batch=24, sim_steps=2)
+        gpus = cluster.hosts[0].gpus[:2]
+        job = TrainingJob(cluster.env, cluster.topology, cluster.hosts[0],
+                          gpus, cluster.hosts[0].scratch, config)
+        with pytest.raises(RuntimeError):
+            job.collect()
+        job.start()
+        with pytest.raises(RuntimeError):
+            job.collect()

@@ -1,0 +1,26 @@
+"""Tests for the §III-B dual-connection study."""
+
+import pytest
+
+from repro.experiments import dual_connection_study
+
+
+class TestDualConnection:
+    def test_comm_bound_model_prefers_single_connection(self):
+        """Paper §III-B: the dual layout 'may slow communications between
+        devices in the two halves of the drawer' — BERT-large's ring
+        crosses the host twice and pays for it."""
+        result = dual_connection_study("bert-large", sim_steps=5)
+        assert result.dual_vs_single_pct > 8.0
+
+    def test_vision_model_indifferent(self):
+        """H2D is prefetched, P2P volume small: ResNet-50 barely notices
+        the cabling."""
+        result = dual_connection_study("resnet50", sim_steps=5)
+        assert abs(result.dual_vs_single_pct) < 3.0
+
+    def test_result_fields(self):
+        result = dual_connection_study("bert-base", sim_steps=4)
+        assert result.benchmark == "bert-base"
+        assert result.single_connection > 0
+        assert result.dual_connection > 0

@@ -1,0 +1,112 @@
+"""Tests for the microbenchmark and sweep helpers."""
+
+import pytest
+
+from repro.core import ComposableSystem
+from repro.experiments import (
+    count_dips,
+    gpu_config_sweep,
+    measure_pair,
+    relative_time_rows,
+    table4,
+    telemetry_rows,
+    traffic_rows,
+)
+from repro.experiments.traces import UtilizationTrace
+
+import numpy as np
+
+
+class TestMicrobench:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return table4()
+
+    def test_table4_values(self, results):
+        assert results["L-L"].bidirectional_bandwidth_gbs == \
+            pytest.approx(72.37, rel=0.02)
+        assert results["F-L"].bidirectional_bandwidth_gbs == \
+            pytest.approx(19.64, rel=0.02)
+        assert results["F-F"].bidirectional_bandwidth_gbs == \
+            pytest.approx(24.47, rel=0.02)
+
+    def test_table4_latencies(self, results):
+        assert results["L-L"].p2p_write_latency_us == \
+            pytest.approx(1.85, rel=0.02)
+        assert results["F-L"].p2p_write_latency_us == \
+            pytest.approx(2.66, rel=0.02)
+        assert results["F-F"].p2p_write_latency_us == \
+            pytest.approx(2.08, rel=0.02)
+
+    def test_protocols(self, results):
+        assert results["L-L"].protocol == "NVLink"
+        assert results["F-F"].protocol == "PCI-e 4.0"
+
+    def test_measure_pair_symmetric(self):
+        system = ComposableSystem()
+        bw_ab, lat_ab, _ = measure_pair(system, "falcon0/gpu0",
+                                        "falcon0/gpu1")
+        system2 = ComposableSystem()
+        bw_ba, lat_ba, _ = measure_pair(system2, "falcon0/gpu1",
+                                        "falcon0/gpu0")
+        assert bw_ab == pytest.approx(bw_ba, rel=1e-6)
+        assert lat_ab == pytest.approx(lat_ba, rel=1e-6)
+
+
+class TestSweepHelpers:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        # A small two-benchmark sweep keeps this suite fast; full sweeps
+        # run in the benchmark harness.
+        return gpu_config_sweep(benchmarks=["resnet50", "bert-large"],
+                                sim_steps=5)
+
+    def test_sweep_shape(self, sweep):
+        assert set(sweep) == {"resnet50", "bert-large"}
+        for by_config in sweep.values():
+            assert set(by_config) == {"localGPUs", "hybridGPUs",
+                                      "falconGPUs"}
+
+    def test_relative_time_rows(self, sweep):
+        rows = relative_time_rows(sweep)
+        assert len(rows) == 2
+        by_key = {row[0]: row for row in rows}
+        # (benchmark, hybrid %, falcon %); BERT-large near 2x.
+        assert by_key["bert-large"][2] > 60.0
+        assert abs(by_key["resnet50"][2]) < 5.0
+
+    def test_telemetry_rows(self, sweep):
+        rows = telemetry_rows(sweep, "gpu_utilization")
+        assert all(len(row) == 4 for row in rows)
+        assert all(0 <= v <= 100 for row in rows for v in row[1:])
+
+    def test_traffic_rows(self, sweep):
+        rows = traffic_rows(sweep)
+        by_key = {row[0]: row for row in rows}
+        # (benchmark, hybrid GB/s, falcon GB/s)
+        assert by_key["bert-large"][2] > by_key["resnet50"][2]
+
+
+class TestTraceHelpers:
+    def make_trace(self, values):
+        arr = np.asarray(values, dtype=float)
+        return UtilizationTrace("x", np.arange(arr.size, dtype=float), arr)
+
+    def test_count_dips_hysteresis(self):
+        trace = self.make_trace([90, 90, 10, 90, 50, 55, 90, 10, 90])
+        # Two true dips; the 50/55 wiggle does not count.
+        assert count_dips(trace) == 2
+
+    def test_count_dips_requires_arming(self):
+        trace = self.make_trace([10, 10, 10])
+        assert count_dips(trace) == 0
+
+    def test_plateau_mean_ignores_dips(self):
+        trace = self.make_trace([90, 92, 5, 94, 0, 90])
+        assert trace.plateau_mean == pytest.approx((90 + 92 + 94 + 90) / 4)
+        assert trace.mean < trace.plateau_mean
+
+    def test_nan_handling(self):
+        trace = self.make_trace([np.nan, 90, 80])
+        assert trace.peak == 90
+        assert not np.isnan(trace.mean)

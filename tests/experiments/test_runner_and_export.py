@@ -1,0 +1,106 @@
+"""Tests for the experiment runner, exporters, table renderer, and
+resilience study."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    degraded_uplink_study,
+    format_value,
+    record_to_dict,
+    records_to_csv,
+    records_to_json,
+    render_table,
+    run_configuration,
+    write_records,
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    return run_configuration("resnet50", "falconGPUs", sim_steps=6)
+
+
+class TestRunner:
+    def test_record_fields(self, record):
+        assert record.benchmark == "resnet50"
+        assert record.configuration == "falconGPUs"
+        assert record.step_time > 0
+        assert record.throughput > 0
+        assert 0 <= record.gpu_utilization <= 100
+        assert record.falcon_gpu_traffic_gbs > 0
+
+    def test_pct_change_identity(self, record):
+        assert record.pct_change_vs(record) == pytest.approx(0.0)
+
+
+class TestExport:
+    def test_record_to_dict_scalars_only(self, record):
+        data = record_to_dict(record)
+        assert data["benchmark"] == "resnet50"
+        assert all(isinstance(v, (int, float, str))
+                   for v in data.values())
+        assert "result" not in data
+
+    def test_json_roundtrip(self, record):
+        blob = records_to_json([record, record])
+        parsed = json.loads(blob)
+        assert len(parsed) == 2
+        assert parsed[0]["configuration"] == "falconGPUs"
+
+    def test_csv_header_and_rows(self, record):
+        text = records_to_csv([record])
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("benchmark,configuration")
+
+    def test_write_records_json(self, record, tmp_path):
+        path = write_records([record], tmp_path / "out.json")
+        assert json.loads(path.read_text())[0]["benchmark"] == "resnet50"
+
+    def test_write_records_csv(self, record, tmp_path):
+        path = write_records([record], tmp_path / "out.csv")
+        assert "resnet50" in path.read_text()
+
+    def test_write_records_bad_suffix(self, record, tmp_path):
+        with pytest.raises(ValueError):
+            write_records([record], tmp_path / "out.xlsx")
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(["a", "bb"], [(1, 2.5), ("xx", None)],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert len(lines) == 5
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [(1, 2)])
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(1234.5) == "1,234"
+        assert format_value(12.34) == "12.3"
+        assert format_value(0.1234) == "0.123"
+        assert format_value(1e-6) == "1.00e-06"
+        assert format_value(0) == "0"
+        assert format_value("s") == "s"
+
+
+class TestResilience:
+    def test_degraded_uplink_slows_falcon_training(self):
+        result = degraded_uplink_study(benchmark="bert-large",
+                                       configuration="falconGPUs",
+                                       lanes=8, sim_steps=8)
+        assert result.slowdown_pct > 20.0
+
+    def test_local_training_unaffected(self):
+        result = degraded_uplink_study(benchmark="bert-large",
+                                       configuration="localGPUs",
+                                       lanes=8, sim_steps=8)
+        assert abs(result.slowdown_pct) < 2.0

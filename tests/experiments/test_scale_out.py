@@ -1,0 +1,31 @@
+"""Tests for the scale-out comparison study."""
+
+import pytest
+
+from repro.experiments import allreduce_scale_out_study
+
+
+class TestScaleOut:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return allreduce_scale_out_study(nbytes=670e6)
+
+    def test_network_hierarchy(self, result):
+        """NVLink < PCIe fabric < commodity Ethernet — the related-work
+        section's 'the key enabler is the network' quantified."""
+        assert result.local_nvlink < result.falcon_pcie \
+            < result.ethernet_2hosts
+
+    def test_falcon_sits_well_below_ethernet(self, result):
+        assert result.ethernet_vs_falcon > 4.0
+
+    def test_falcon_overhead_is_bounded(self, result):
+        # The PCIe fabric costs single-digit multiples of NVLink, not the
+        # order of magnitude Ethernet costs.
+        assert 2.0 < result.falcon_vs_local < 10.0
+
+    def test_scales_with_volume(self):
+        small = allreduce_scale_out_study(nbytes=67e6)
+        large = allreduce_scale_out_study(nbytes=670e6)
+        assert large.ethernet_2hosts == pytest.approx(
+            10 * small.ethernet_2hosts, rel=0.1)

@@ -1,0 +1,54 @@
+"""Tests for the parametric overhead-scaling sweeps."""
+
+import pytest
+
+from repro.experiments import (
+    overhead_vs_batch,
+    overhead_vs_model_size,
+    overhead_vs_width,
+)
+
+
+class TestDepthSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return overhead_vs_model_size(layer_counts=(4, 24), sim_steps=4)
+
+    def test_params_grow_with_depth(self, points):
+        assert points[0].params_m < points[1].params_m
+
+    def test_absolute_times_grow_with_depth(self, points):
+        assert points[1].local_step_time > points[0].local_step_time
+        assert points[1].falcon_step_time > points[0].falcon_step_time
+
+    def test_all_points_heavily_penalized_on_falcon(self, points):
+        # NLP-class overhead at batch 6 regardless of depth.
+        assert all(p.overhead_pct > 50.0 for p in points)
+
+    def test_embedding_effect_small_models_relatively_worse(self, points):
+        """Fixed-vocabulary embeddings carry gradient bytes but no FLOPs,
+        so the shallow family member is *more* communication-bound."""
+        assert points[0].overhead_pct > points[1].overhead_pct
+
+
+class TestWidthSweep:
+    def test_width_sweep_runs(self):
+        points = overhead_vs_width(widths=(256, 1024), sim_steps=4)
+        assert points[0].params_m < points[1].params_m
+        assert all(p.overhead_pct > 50.0 for p in points)
+
+
+class TestBatchSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return overhead_vs_batch(batches=(2, 6), sim_steps=4)
+
+    def test_overhead_falls_with_batch(self, points):
+        """The real mediator of the paper's size-overhead correlation:
+        compute scales with the batch, gradients do not."""
+        assert points[0].overhead_pct > points[1].overhead_pct + 30.0
+
+    def test_throughput_still_improves_with_batch(self, points):
+        per_sample_small = points[0].falcon_step_time / 2
+        per_sample_large = points[1].falcon_step_time / 6
+        assert per_sample_large < per_sample_small

@@ -1,0 +1,108 @@
+"""Tests for the sharing studies and the topology recommender."""
+
+import pytest
+
+from repro.experiments import (
+    Recommendation,
+    ResourcePricing,
+    TopologyRecommender,
+    reconfiguration_study,
+    ring_placement_study,
+    tenancy_isolation_study,
+)
+from repro.experiments.runner import run_configuration
+
+
+class TestIsolation:
+    def test_advanced_mode_isolation(self):
+        result = tenancy_isolation_study(sim_steps=4)
+        # Separate host ports + non-blocking switch: near-zero
+        # interference between tenants.
+        assert abs(result.interference_pct) < 2.0
+
+    def test_ring_placement_penalties(self):
+        result = ring_placement_study(sim_steps=4)
+        # A ring crossing the host ports is slower than one that stays
+        # inside the drawer switch...
+        assert result.crossing_penalty_pct > 5.0
+        # ...and a co-tenant sharing those crossings makes it much worse.
+        assert result.interference_pct > 20.0
+        assert result.across_drawers_shared > result.across_drawers_solo \
+            > result.within_drawer
+
+
+class TestReconfiguration:
+    def test_growing_a_tenant_pays_off(self):
+        result = reconfiguration_study(sim_steps=4)
+        assert result.gpus_moved == 2
+        assert result.reconfiguration_seconds > 0
+        assert result.throughput_after > 1.5 * result.throughput_before
+        # Doubling the GPUs amortizes the hot-plug cost quickly.
+        assert result.breakeven_seconds < 60.0
+
+
+class TestPricing:
+    def test_configuration_costs(self):
+        pricing = ResourcePricing()
+        assert pricing.configuration_cost("localGPUs") == 8.0
+        assert pricing.configuration_cost("falconGPUs") == \
+            pytest.approx(5.6)
+        assert pricing.configuration_cost("hybridGPUs") == \
+            pytest.approx(6.8)
+        assert pricing.configuration_cost("localNVMe") > \
+            pricing.configuration_cost("localGPUs")
+
+    def test_unknown_configuration(self):
+        with pytest.raises(KeyError):
+            ResourcePricing().configuration_cost("moonGPUs")
+
+
+class TestRecommender:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return {
+            key: [run_configuration(key, cfg, sim_steps=5)
+                  for cfg in ("localGPUs", "falconGPUs")]
+            for key in ("resnet50", "bert-large")
+        }
+
+    def test_vision_prefers_composable_pool(self, records):
+        rec = TopologyRecommender().recommend_from_records(
+            records["resnet50"])
+        assert rec.recommended == "falconGPUs"
+
+    def test_bert_large_stays_on_nvlink(self, records):
+        rec = TopologyRecommender().recommend_from_records(
+            records["bert-large"])
+        assert rec.recommended == "localGPUs"
+
+    def test_tolerance_zero_always_picks_fastest(self, records):
+        rec = TopologyRecommender(tolerance_pct=0.0) \
+            .recommend_from_records(records["resnet50"])
+        assert rec.recommended == "localGPUs"
+
+    def test_huge_tolerance_picks_cheapest(self, records):
+        rec = TopologyRecommender(tolerance_pct=1000.0) \
+            .recommend_from_records(records["bert-large"])
+        assert rec.recommended == "falconGPUs"
+
+    def test_table_rows_mark_recommendation(self, records):
+        rec = TopologyRecommender().recommend_from_records(
+            records["resnet50"])
+        marked = [row for row in rec.table_rows()
+                  if row[0].startswith("->")]
+        assert len(marked) == 1
+        assert rec.recommended in marked[0][0]
+
+    def test_mixed_benchmarks_rejected(self, records):
+        mixed = [records["resnet50"][0], records["bert-large"][0]]
+        with pytest.raises(ValueError, match="multiple benchmarks"):
+            TopologyRecommender().recommend_from_records(mixed)
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyRecommender().recommend_from_records([])
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyRecommender(tolerance_pct=-1.0)

@@ -1,0 +1,310 @@
+"""Unit tests for the Falcon 4016 chassis model."""
+
+import pytest
+
+from repro.fabric import (
+    Falcon4016,
+    FalconError,
+    FalconMode,
+    GB,
+    Topology,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def topo(env):
+    return Topology(env)
+
+
+@pytest.fixture()
+def falcon(topo):
+    return Falcon4016(topo, "falcon0")
+
+
+def add_host(topo, name):
+    topo.add_node(f"{name}/rc", kind="rc", transit=True)
+    return f"{name}/rc"
+
+
+def add_device(topo, name):
+    topo.add_node(name, kind="gpu")
+    return name
+
+
+class TestChassisStructure:
+    def test_two_drawers_eight_slots(self, falcon):
+        assert len(falcon.drawers) == 2
+        assert all(len(d.slots) == 8 for d in falcon.drawers)
+
+    def test_default_mode_standard(self, falcon):
+        assert falcon.mode is FalconMode.STANDARD
+        assert falcon.max_hosts_per_drawer == 2
+
+
+class TestHostConnections:
+    def test_connect_host(self, topo, falcon):
+        rc = add_host(topo, "host0")
+        link = falcon.connect_host("H1", "host0", rc, drawer=0)
+        assert falcon.port_map["H1"] == ("host0", 0)
+        assert falcon.hosts_of_drawer(0) == ["host0"]
+        assert link.other(falcon.drawers[0].switch.name) == rc
+
+    def test_unknown_port_rejected(self, topo, falcon):
+        rc = add_host(topo, "host0")
+        with pytest.raises(FalconError):
+            falcon.connect_host("H9", "host0", rc, drawer=0)
+
+    def test_port_reuse_rejected(self, topo, falcon):
+        rc0 = add_host(topo, "host0")
+        rc1 = add_host(topo, "host1")
+        falcon.connect_host("H1", "host0", rc0, drawer=0)
+        with pytest.raises(FalconError):
+            falcon.connect_host("H1", "host1", rc1, drawer=0)
+
+    def test_standard_mode_two_hosts_max(self, topo, falcon):
+        for i in range(2):
+            falcon.connect_host(f"H{i+1}", f"host{i}",
+                                add_host(topo, f"host{i}"), drawer=0)
+        with pytest.raises(FalconError):
+            falcon.connect_host("H3", "host2", add_host(topo, "host2"),
+                                drawer=0)
+
+    def test_advanced_mode_three_hosts(self, topo):
+        falcon = Falcon4016(topo, "f", mode=FalconMode.ADVANCED)
+        for i in range(3):
+            falcon.connect_host(f"H{i+1}", f"host{i}",
+                                add_host(topo, f"host{i}"), drawer=0)
+        assert len(falcon.hosts_of_drawer(0)) == 3
+
+    def test_disconnect_releases_allocations(self, topo, falcon):
+        rc = add_host(topo, "host0")
+        falcon.connect_host("H1", "host0", rc, drawer=0)
+        dev = add_device(topo, "gpuA")
+        falcon.install_device(dev, drawer=0)
+        falcon.allocate(dev, "host0")
+        falcon.disconnect_host("H1")
+        assert falcon.owner_of(dev) is None
+        assert "H1" not in falcon.port_map
+
+
+class TestDeviceLifecycle:
+    def test_install_auto_slot(self, topo, falcon):
+        dev = add_device(topo, "gpuA")
+        slot = falcon.install_device(dev, drawer=0)
+        assert slot.device == dev
+        assert falcon.installed_devices() == [dev]
+
+    def test_install_specific_slot(self, topo, falcon):
+        dev = add_device(topo, "gpuA")
+        slot = falcon.install_device(dev, drawer=1, slot=5)
+        assert slot.label == "drawer1/slot5"
+
+    def test_occupied_slot_rejected(self, topo, falcon):
+        falcon.install_device(add_device(topo, "a"), drawer=0, slot=0)
+        with pytest.raises(FalconError):
+            falcon.install_device(add_device(topo, "b"), drawer=0, slot=0)
+
+    def test_double_install_rejected(self, topo, falcon):
+        dev = add_device(topo, "a")
+        falcon.install_device(dev, drawer=0)
+        with pytest.raises(FalconError):
+            falcon.install_device(dev, drawer=1)
+
+    def test_drawer_full(self, topo, falcon):
+        for i in range(8):
+            falcon.install_device(add_device(topo, f"d{i}"), drawer=0)
+        with pytest.raises(FalconError):
+            falcon.install_device(add_device(topo, "extra"), drawer=0)
+
+    def test_remove_device(self, topo, falcon):
+        dev = add_device(topo, "a")
+        falcon.install_device(dev, drawer=0)
+        falcon.remove_device(dev)
+        assert falcon.installed_devices() == []
+
+    def test_remove_allocated_rejected(self, topo, falcon):
+        rc = add_host(topo, "host0")
+        falcon.connect_host("H1", "host0", rc, drawer=0)
+        dev = add_device(topo, "a")
+        falcon.install_device(dev, drawer=0)
+        falcon.allocate(dev, "host0")
+        with pytest.raises(FalconError):
+            falcon.remove_device(dev)
+
+    def test_bad_slot_index(self, topo, falcon):
+        with pytest.raises(FalconError):
+            falcon.install_device(add_device(topo, "a"), drawer=0, slot=8)
+
+    def test_bad_drawer_index(self, topo, falcon):
+        with pytest.raises(FalconError):
+            falcon.install_device(add_device(topo, "a"), drawer=2)
+
+
+class TestAllocation:
+    def test_allocate_and_route(self, env, topo, falcon):
+        rc = add_host(topo, "host0")
+        falcon.connect_host("H1", "host0", rc, drawer=0)
+        dev = add_device(topo, "gpuA")
+        falcon.install_device(dev, drawer=0)
+        falcon.allocate(dev, "host0")
+        assert falcon.owner_of(dev) == "host0"
+        # Data can now flow host rc -> drawer switch -> device.
+        route = topo.route(rc, dev)
+        assert route.hops == 2
+
+    def test_allocate_unconnected_host_rejected(self, topo, falcon):
+        dev = add_device(topo, "gpuA")
+        falcon.install_device(dev, drawer=0)
+        with pytest.raises(FalconError):
+            falcon.allocate(dev, "ghost")
+
+    def test_double_allocation_rejected(self, topo, falcon):
+        rc = add_host(topo, "host0")
+        falcon.connect_host("H1", "host0", rc, drawer=0)
+        dev = add_device(topo, "gpuA")
+        falcon.install_device(dev, drawer=0)
+        falcon.allocate(dev, "host0")
+        with pytest.raises(FalconError):
+            falcon.allocate(dev, "host0")
+
+    def test_standard_two_host_split_four_four(self, topo, falcon):
+        for i in range(2):
+            falcon.connect_host(f"H{i+1}", f"host{i}",
+                                add_host(topo, f"host{i}"), drawer=0)
+        devices = [add_device(topo, f"d{i}") for i in range(8)]
+        for d in devices:
+            falcon.install_device(d, drawer=0)
+        for d in devices[:4]:
+            falcon.allocate(d, "host0")
+        with pytest.raises(FalconError):
+            falcon.allocate(devices[4], "host0")
+        for d in devices[4:]:
+            falcon.allocate(d, "host1")
+        assert len(falcon.devices_of("host1")) == 4
+
+    def test_standard_one_host_gets_all_eight(self, topo, falcon):
+        falcon.connect_host("H1", "host0", add_host(topo, "host0"), drawer=0)
+        for i in range(8):
+            d = add_device(topo, f"d{i}")
+            falcon.install_device(d, drawer=0)
+            falcon.allocate(d, "host0")
+        assert len(falcon.devices_of("host0")) == 8
+
+    def test_deallocate(self, topo, falcon):
+        falcon.connect_host("H1", "host0", add_host(topo, "host0"), drawer=0)
+        dev = add_device(topo, "a")
+        falcon.install_device(dev, drawer=0)
+        falcon.allocate(dev, "host0")
+        falcon.deallocate(dev)
+        assert falcon.owner_of(dev) is None
+
+    def test_deallocate_unallocated_rejected(self, topo, falcon):
+        dev = add_device(topo, "a")
+        falcon.install_device(dev, drawer=0)
+        with pytest.raises(FalconError):
+            falcon.deallocate(dev)
+
+    def test_reallocate_requires_advanced(self, topo, falcon):
+        falcon.connect_host("H1", "host0", add_host(topo, "host0"), drawer=0)
+        dev = add_device(topo, "a")
+        falcon.install_device(dev, drawer=0)
+        falcon.allocate(dev, "host0")
+        with pytest.raises(FalconError):
+            falcon.reallocate(dev, "host0")
+
+    def test_reallocate_advanced_moves_device(self, topo):
+        falcon = Falcon4016(topo, "f", mode=FalconMode.ADVANCED)
+        falcon.connect_host("H1", "host0", add_host(topo, "host0"), drawer=0)
+        falcon.connect_host("H2", "host1", add_host(topo, "host1"), drawer=0)
+        dev = add_device(topo, "a")
+        falcon.install_device(dev, drawer=0)
+        falcon.allocate(dev, "host0")
+        falcon.reallocate(dev, "host1")
+        assert falcon.owner_of(dev) == "host1"
+
+
+class TestModes:
+    def test_mode_switch_validation(self, topo):
+        falcon = Falcon4016(topo, "f", mode=FalconMode.ADVANCED)
+        for i in range(3):
+            falcon.connect_host(f"H{i+1}", f"host{i}",
+                                add_host(topo, f"host{i}"), drawer=0)
+        with pytest.raises(FalconError):
+            falcon.set_mode(FalconMode.STANDARD)
+
+    def test_mode_switch_ok_when_compatible(self, topo, falcon):
+        falcon.set_mode(FalconMode.ADVANCED)
+        assert falcon.max_hosts_per_drawer == 3
+        falcon.set_mode(FalconMode.STANDARD)
+        assert falcon.max_hosts_per_drawer == 2
+
+
+class TestTrafficAndConfig:
+    def test_device_traffic_counters(self, env, topo, falcon):
+        rc = add_host(topo, "host0")
+        falcon.connect_host("H1", "host0", rc, drawer=0)
+        dev = add_device(topo, "gpuA")
+        falcon.install_device(dev, drawer=0)
+        falcon.allocate(dev, "host0")
+
+        def push():
+            yield topo.transfer(rc, dev, 10 * GB)
+
+        env.process(push())
+        env.run()
+        t1 = env.now
+        ingress, egress = falcon.device_traffic(dev, 0.0, t1)
+        assert ingress > 0
+        assert egress == 0.0
+        p_in, p_out = falcon.port_traffic("H1", 0.0, t1)
+        assert p_in > 0
+
+    def test_export_import_roundtrip(self, topo, falcon):
+        rc = add_host(topo, "host0")
+        falcon.connect_host("H1", "host0", rc, drawer=0)
+        devices = [add_device(topo, f"d{i}") for i in range(3)]
+        for d in devices:
+            falcon.install_device(d, drawer=0)
+            falcon.allocate(d, "host0")
+        config = falcon.export_config()
+        for d in devices:
+            falcon.deallocate(d)
+        falcon.apply_allocations(config)
+        assert all(falcon.owner_of(d) == "host0" for d in devices)
+
+    def test_import_mode_mismatch_rejected(self, topo, falcon):
+        config = falcon.export_config()
+        config["mode"] = "advanced"
+        with pytest.raises(FalconError):
+            falcon.apply_allocations(config)
+
+    def test_import_device_mismatch_rejected(self, topo, falcon):
+        dev = add_device(topo, "a")
+        falcon.install_device(dev, drawer=0, slot=0)
+        config = falcon.export_config()
+        config["slots"][0]["device"] = "other"
+        with pytest.raises(FalconError):
+            falcon.apply_allocations(config)
+
+    def test_events_emitted(self, topo):
+        events = []
+        falcon = Falcon4016(topo, "f",
+                            on_event=lambda kind, d: events.append(kind))
+        rc = add_host(topo, "host0")
+        falcon.connect_host("H1", "host0", rc, drawer=0)
+        dev = add_device(topo, "a")
+        falcon.install_device(dev, drawer=0)
+        falcon.allocate(dev, "host0")
+        falcon.deallocate(dev)
+        falcon.remove_device(dev)
+        falcon.disconnect_host("H1")
+        assert events == [
+            "host_connected", "device_installed", "device_allocated",
+            "device_deallocated", "device_removed", "host_disconnected",
+        ]

@@ -1,0 +1,148 @@
+"""Fault-injection tests: lane degradation and cable failure."""
+
+import pytest
+
+from repro.fabric import (
+    GB,
+    LinkFailure,
+    NoRouteError,
+    PCIE_GEN4_X16,
+    Topology,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def topo(env):
+    t = Topology(env)
+    t.add_node("a", kind="gpu")
+    t.add_node("b", kind="gpu")
+    return t
+
+
+class TestDegradation:
+    def test_degraded_link_halves_bandwidth(self, env, topo):
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        done = {}
+
+        def xfer():
+            yield topo.transfer("a", "b", 12.3 * GB)
+            done["t"] = env.now
+
+        env.process(xfer())
+        env.run()
+        baseline = done["t"]
+
+        topo.degrade_link(link, lanes=8)
+
+        def xfer2():
+            t0 = env.now
+            yield topo.transfer("a", "b", 12.3 * GB)
+            done["t2"] = env.now - t0
+
+        env.process(xfer2())
+        env.run()
+        assert done["t2"] == pytest.approx(2 * baseline, rel=0.01)
+
+    def test_degradation_applies_to_inflight_flow(self, env, topo):
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        done = {}
+
+        def xfer():
+            yield topo.transfer("a", "b", 12.3 * GB)  # 1 s at full width
+            done["t"] = env.now
+
+        def chaos():
+            yield env.timeout(0.5)
+            topo.degrade_link(link, lanes=8)
+
+        env.process(xfer())
+        env.process(chaos())
+        env.run()
+        # Half the bytes at full rate (0.5 s), half at half rate (1 s).
+        assert done["t"] == pytest.approx(1.5, rel=0.01)
+
+    def test_restore_link(self, env, topo):
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        topo.degrade_link(link, lanes=4)
+        topo.restore_link(link, PCIE_GEN4_X16)
+        assert link.spec.bandwidth == PCIE_GEN4_X16.bandwidth
+
+    def test_degradation_invalidates_routes(self, env, topo):
+        # Two parallel paths; after degrading the direct one the longer
+        # path can win on bandwidth... routing is latency-based, so just
+        # verify route cache refresh doesn't crash and returns a route.
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        bw_before = topo.route("a", "b").bandwidth
+        topo.degrade_link(link, lanes=4)
+        bw_after = topo.route("a", "b").bandwidth
+        assert bw_before == PCIE_GEN4_X16.bandwidth
+        assert bw_after == pytest.approx(PCIE_GEN4_X16.bandwidth / 4)
+
+
+class TestHardFailure:
+    def test_fail_link_aborts_inflight_transfer(self, env, topo):
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        outcome = {}
+
+        def xfer():
+            try:
+                yield topo.transfer("a", "b", 12.3 * GB)
+                outcome["ok"] = True
+            except LinkFailure as exc:
+                outcome["failed"] = exc.link_name
+
+        def chaos():
+            yield env.timeout(0.4)
+            killed = topo.fail_link(link)
+            outcome["killed"] = killed
+
+        env.process(xfer())
+        env.process(chaos())
+        env.run()
+        assert outcome.get("failed") == link.name
+        assert outcome["killed"] == 1
+
+    def test_fail_link_removes_route(self, env, topo):
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        topo.fail_link(link)
+        with pytest.raises(NoRouteError):
+            topo.route("a", "b")
+
+    def test_fail_idle_link_kills_nothing(self, env, topo):
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        assert topo.fail_link(link) == 0
+
+    def test_survivor_flows_inherit_bandwidth(self, env, topo):
+        # Two disjoint paths; failing one must not disturb the other.
+        topo.add_node("c", kind="gpu")
+        topo.add_node("d", kind="gpu")
+        doomed = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        topo.add_link(PCIE_GEN4_X16, "c", "d")
+        done = {}
+
+        def safe():
+            yield topo.transfer("c", "d", 12.3 * GB)
+            done["safe"] = env.now
+
+        def victim():
+            try:
+                yield topo.transfer("a", "b", 12.3 * GB)
+            except LinkFailure:
+                done["victim"] = "aborted"
+
+        def chaos():
+            yield env.timeout(0.2)
+            topo.fail_link(doomed)
+
+        env.process(safe())
+        env.process(victim())
+        env.process(chaos())
+        env.run()
+        assert done["victim"] == "aborted"
+        assert done["safe"] == pytest.approx(1.0, rel=0.01)

@@ -1,0 +1,86 @@
+"""Unit tests for the NVLink hybrid cube mesh builder."""
+
+import pytest
+
+from repro.fabric import (
+    GB,
+    HYBRID_CUBE_MESH_EDGES,
+    NVLINK2_X1,
+    NVLINK2_X2,
+    RING_ORDER,
+    Topology,
+    build_hybrid_cube_mesh,
+)
+from repro.sim import Environment
+
+
+def make_mesh():
+    env = Environment()
+    topo = Topology(env)
+    gpus = [f"gpu{i}" for i in range(8)]
+    for g in gpus:
+        topo.add_node(g, kind="gpu")
+    links = build_hybrid_cube_mesh(topo, gpus)
+    return topo, gpus, links
+
+
+def test_edge_count_and_total_links():
+    # 16 adjacent pairs; 24 total NVLink bricks (6 per GPU).
+    assert len(HYBRID_CUBE_MESH_EDGES) == 16
+    total = sum(count for _, _, count in HYBRID_CUBE_MESH_EDGES)
+    assert total == 24
+
+
+def test_each_gpu_has_six_links():
+    per_gpu = {i: 0 for i in range(8)}
+    for a, b, count in HYBRID_CUBE_MESH_EDGES:
+        per_gpu[a] += count
+        per_gpu[b] += count
+    assert all(v == 6 for v in per_gpu.values())
+
+
+def test_mesh_wiring():
+    topo, gpus, links = make_mesh()
+    assert len(links) == 16
+    # Each GPU has exactly 4 NVLink neighbours.
+    for g in gpus:
+        assert len(topo.neighbors(g)) == 4
+
+
+def test_link_specs_match_multiplicity():
+    topo, gpus, links = make_mesh()
+    by_pair = {}
+    for (a, b, count), link in zip(HYBRID_CUBE_MESH_EDGES, links):
+        by_pair[(a, b)] = (count, link)
+    for (a, b), (count, link) in by_pair.items():
+        expected = NVLINK2_X2 if count == 2 else NVLINK2_X1
+        assert link.spec is expected
+
+
+def test_requires_eight_gpus():
+    env = Environment()
+    topo = Topology(env)
+    for i in range(4):
+        topo.add_node(f"g{i}", kind="gpu")
+    with pytest.raises(ValueError):
+        build_hybrid_cube_mesh(topo, [f"g{i}" for i in range(4)])
+
+
+def test_ring_order_is_hamiltonian_over_nvlink():
+    adjacency = set()
+    for a, b, _ in HYBRID_CUBE_MESH_EDGES:
+        adjacency.add((a, b))
+        adjacency.add((b, a))
+    assert sorted(RING_ORDER) == list(range(8))
+    n = len(RING_ORDER)
+    for i in range(n):
+        a, b = RING_ORDER[i], RING_ORDER[(i + 1) % n]
+        assert (a, b) in adjacency, f"ring hop {a}->{b} is not NVLink"
+
+
+def test_mean_adjacent_bandwidth_matches_table4_LL():
+    # Table IV: L-L bidirectional bandwidth 72.37 GB/s (mean over pairs).
+    topo, gpus, links = make_mesh()
+    rates = [2 * link.spec.bandwidth / GB for link in links]
+    mean = sum(rates) / len(rates)
+    assert mean == pytest.approx(72.37, rel=0.02)

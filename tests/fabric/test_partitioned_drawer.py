@@ -1,0 +1,150 @@
+"""Tests for the dual-connection partitioned drawer (paper §III-B)."""
+
+import pytest
+
+from repro.fabric import (
+    Falcon4016,
+    FalconError,
+    GB,
+    Topology,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def topo(env):
+    return Topology(env)
+
+
+@pytest.fixture()
+def falcon(topo):
+    return Falcon4016(topo, "f", partitioned_drawers=frozenset({0}))
+
+
+def add_host(topo, name="host0"):
+    topo.add_node(f"{name}/rc", kind="rc", transit=True)
+    return f"{name}/rc"
+
+
+def install_gpus(topo, falcon, count=8, drawer=0):
+    names = []
+    for i in range(count):
+        name = f"g{i}"
+        topo.add_node(name, kind="gpu")
+        falcon.install_device(name, drawer=drawer, slot=i)
+        names.append(name)
+    return names
+
+
+class TestStructure:
+    def test_partitioned_drawer_has_two_switches(self, falcon):
+        assert falcon.drawers[0].partitions == 2
+        assert len(falcon.drawers[0].switches) == 2
+        assert falcon.drawers[1].partitions == 1
+
+    def test_slot_partition_mapping(self, falcon):
+        drawer = falcon.drawers[0]
+        assert drawer.partition_of_slot(0) == 0
+        assert drawer.partition_of_slot(3) == 0
+        assert drawer.partition_of_slot(4) == 1
+        assert drawer.partition_of_slot(7) == 1
+
+    def test_invalid_partition_count(self, topo):
+        from repro.fabric.falcon import Drawer
+        with pytest.raises(FalconError):
+            Drawer(topo, "x", 0, partitions=3)
+
+    def test_devices_attach_to_their_partition_switch(self, topo, falcon):
+        install_gpus(topo, falcon)
+        assert topo.route("g0", "f/drawer0/switch0").hops == 1
+        assert topo.route("g4", "f/drawer0/switch1").hops == 1
+
+
+class TestDualConnection:
+    def test_same_host_connects_twice(self, topo, falcon):
+        rc = add_host(topo)
+        falcon.connect_host("H1", "host0", rc, drawer=0, partition=0)
+        falcon.connect_host("H2", "host0", rc, drawer=0, partition=1)
+        assert falcon.drawers[0].connection_count == 2
+        assert falcon.hosts_of_drawer(0) == ["host0"]
+
+    def test_partition_port_is_exclusive(self, topo, falcon):
+        rc = add_host(topo)
+        falcon.connect_host("H1", "host0", rc, drawer=0, partition=0)
+        rc1 = add_host(topo, "host1")
+        with pytest.raises(FalconError, match="partition 0"):
+            falcon.connect_host("H2", "host1", rc1, drawer=0, partition=0)
+
+    def test_unknown_partition_rejected(self, topo, falcon):
+        rc = add_host(topo)
+        with pytest.raises(FalconError, match="no partition"):
+            falcon.connect_host("H1", "host0", rc, drawer=0, partition=2)
+        with pytest.raises(FalconError):
+            falcon.connect_host("H1", "host0", rc, drawer=1, partition=1)
+
+    def test_cross_partition_traffic_routes_through_host(self, env, topo,
+                                                         falcon):
+        rc = add_host(topo)
+        falcon.connect_host("H1", "host0", rc, drawer=0, partition=0)
+        falcon.connect_host("H2", "host0", rc, drawer=0, partition=1)
+        install_gpus(topo, falcon)
+        route = topo.route("g0", "g4")
+        assert rc in route.nodes          # via the root complex
+        same_half = topo.route("g0", "g1")
+        assert rc not in same_half.nodes  # stays inside the partition
+
+    def test_disconnect_one_port_keeps_other(self, topo, falcon):
+        rc = add_host(topo)
+        falcon.connect_host("H1", "host0", rc, drawer=0, partition=0)
+        falcon.connect_host("H2", "host0", rc, drawer=0, partition=1)
+        install_gpus(topo, falcon, count=1)
+        falcon.allocate("g0", "host0")
+        falcon.disconnect_host("H2")
+        # Host still connected via H1: allocation survives.
+        assert falcon.owner_of("g0") == "host0"
+        falcon.disconnect_host("H1")
+        assert falcon.owner_of("g0") is None
+
+    def test_doubled_host_device_bandwidth(self, env, topo, falcon):
+        """The paper's claim: dual connections improve host-device
+        throughput (one uplink per 4-GPU half instead of one per 8)."""
+        rc = add_host(topo)
+        falcon.connect_host("H1", "host0", rc, drawer=0, partition=0)
+        falcon.connect_host("H2", "host0", rc, drawer=0, partition=1)
+        install_gpus(topo, falcon)
+        finished = []
+
+        def push(gpu):
+            yield topo.transfer(rc, gpu, 9.85 * GB)
+            finished.append(env.now)
+
+        # One transfer per half: each uses its own CDFP uplink -> ~1 s.
+        env.process(push("g0"))
+        env.process(push("g4"))
+        env.run()
+        assert max(finished) == pytest.approx(1.0, rel=0.02)
+
+        # Same experiment on the single-uplink drawer 1 -> ~2 s.
+        env2 = Environment()
+        topo2 = Topology(env2)
+        falcon2 = Falcon4016(topo2, "f")
+        rc2 = add_host(topo2)
+        falcon2.connect_host("H1", "host0", rc2, drawer=0)
+        for i in range(8):
+            topo2.add_node(f"g{i}", kind="gpu")
+            falcon2.install_device(f"g{i}", drawer=0, slot=i)
+        done2 = []
+
+        def push2(gpu):
+            yield topo2.transfer(rc2, gpu, 9.85 * GB)
+            done2.append(env2.now)
+
+        env2.process(push2("g0"))
+        env2.process(push2("g4"))
+        env2.run()
+        assert max(done2) == pytest.approx(2.0, rel=0.02)

@@ -1,0 +1,136 @@
+"""Property-based tests on fabric invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric import (
+    GB,
+    LinkSpec,
+    PCIE_GEN4_X16,
+    Protocol,
+    Topology,
+)
+from repro.fabric.flows import FlowScheduler, Segment
+from repro.fabric.link import Link
+from repro.sim import Environment
+
+
+def random_tree_topology(edges: list[int]) -> tuple[Topology, list[str]]:
+    """Build a tree: node i>0 attaches to node edges[i-1] (< i).
+
+    All interior nodes transit-enabled so everything is routable.
+    """
+    env = Environment()
+    topo = Topology(env)
+    n = len(edges) + 1
+    names = [f"n{i}" for i in range(n)]
+    for name in names:
+        topo.add_node(name, kind="x", transit=True)
+    for i, parent in enumerate(edges, start=1):
+        topo.add_link(PCIE_GEN4_X16, names[parent], names[i])
+    return topo, names
+
+
+@st.composite
+def tree_edges(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    return [draw(st.integers(min_value=0, max_value=i))
+            for i in range(n - 1)]
+
+
+class TestRoutingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(edges=tree_edges(), data=st.data())
+    def test_route_symmetry(self, edges, data):
+        """In an undirected graph, A->B and B->A have identical cost."""
+        topo, names = random_tree_topology(edges)
+        a = data.draw(st.sampled_from(names))
+        b = data.draw(st.sampled_from(names))
+        fwd = topo.route(a, b)
+        rev = topo.route(b, a)
+        assert fwd.hops == rev.hops
+        assert fwd.latency == pytest.approx(rev.latency)
+        assert fwd.nodes == tuple(reversed(rev.nodes))
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=tree_edges(), data=st.data())
+    def test_triangle_inequality(self, edges, data):
+        """route(a,c) is never longer than route(a,b) + route(b,c)."""
+        topo, names = random_tree_topology(edges)
+        a = data.draw(st.sampled_from(names))
+        b = data.draw(st.sampled_from(names))
+        c = data.draw(st.sampled_from(names))
+        ac = topo.route(a, c).latency
+        via_b = topo.route(a, b).latency + topo.route(b, c).latency
+        assert ac <= via_b + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(edges=tree_edges(), data=st.data())
+    def test_route_endpoints_and_continuity(self, edges, data):
+        topo, names = random_tree_topology(edges)
+        a = data.draw(st.sampled_from(names))
+        b = data.draw(st.sampled_from(names))
+        route = topo.route(a, b)
+        if a == b:
+            assert route.hops == 0
+            return
+        assert route.nodes[0] == a
+        assert route.nodes[-1] == b
+        for seg, nxt in zip(route.segments, route.nodes[1:]):
+            assert seg.dst == nxt
+
+
+class TestFlowConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.floats(min_value=0.01, max_value=50.0),
+                       min_size=1, max_size=5),
+        starts=st.lists(st.floats(min_value=0.0, max_value=3.0),
+                        min_size=1, max_size=5),
+    )
+    def test_bytes_conserved_per_link(self, sizes, starts):
+        """Every started byte is eventually accounted on every segment."""
+        n = min(len(sizes), len(starts))
+        sizes, starts = sizes[:n], starts[:n]
+        env = Environment()
+        sched = FlowScheduler(env)
+        spec = LinkSpec("t", Protocol.PCIE4, 16, 5 * GB, 0.0)
+        l1 = Link(spec, "a", "b")
+        l2 = Link(spec, "b", "c")
+        segs = [Segment(l1, "a", "b"), Segment(l2, "b", "c")]
+
+        def flow(delay, nbytes):
+            yield env.timeout(delay)
+            yield sched.start_flow(segs, nbytes)
+
+        for t0, size in zip(starts, sizes):
+            env.process(flow(t0, size * GB))
+        env.run()
+        total = sum(sizes) * GB
+        assert l1.bytes_moved("a", "b") == pytest.approx(total, rel=1e-6)
+        assert l2.bytes_moved("b", "c") == pytest.approx(total, rel=1e-6)
+        assert sched.active_flows == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_flows=st.integers(min_value=1, max_value=6),
+        bw=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_makespan_lower_bound(self, n_flows, bw):
+        """No schedule can beat bytes/capacity on the bottleneck link."""
+        env = Environment()
+        sched = FlowScheduler(env)
+        spec = LinkSpec("t", Protocol.PCIE4, 16, bw * GB, 0.0)
+        link = Link(spec, "a", "b")
+        seg = Segment(link, "a", "b")
+        per_flow = 2 * GB
+
+        def flow():
+            yield sched.start_flow([seg], per_flow)
+
+        for _ in range(n_flows):
+            env.process(flow())
+        env.run()
+        lower_bound = n_flows * per_flow / (bw * GB)
+        assert env.now >= lower_bound * (1 - 1e-9)
+        assert env.now == pytest.approx(lower_bound, rel=1e-6)

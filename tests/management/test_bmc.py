@@ -1,0 +1,102 @@
+"""Unit tests for the BMC thermal/link-health monitor."""
+
+import pytest
+
+from repro.management import BMC, EventLog
+from repro.management.bmc import AMBIENT_C
+from repro.sim import Environment
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def bmc(env):
+    return BMC(env, "bmc0", EventLog(), sample_interval=5.0)
+
+
+class TestSensors:
+    def test_add_sensor(self, bmc):
+        sensor = bmc.add_sensor("drawer0/inlet")
+        assert sensor.value == AMBIENT_C
+        with pytest.raises(ValueError):
+            bmc.add_sensor("drawer0/inlet")
+
+    def test_temperature_rises_under_load(self, env, bmc):
+        bmc.add_sensor("inlet")
+        bmc.set_load_source(lambda: 1.0)
+        bmc.start()
+        env.run(until=300.0)
+        assert bmc.sensors["inlet"].value > 50.0
+        # History recorded.
+        assert len(bmc.temperature_history["inlet"]) > 10
+
+    def test_idle_stays_ambient(self, env, bmc):
+        bmc.add_sensor("inlet")
+        bmc.set_load_source(lambda: 0.0)
+        bmc.start()
+        env.run(until=100.0)
+        assert bmc.sensors["inlet"].value == pytest.approx(AMBIENT_C,
+                                                           abs=1.0)
+
+    def test_threshold_alert_and_clear(self, env):
+        log = EventLog()
+        bmc = BMC(env, "bmc0", log, sample_interval=5.0)
+        bmc.add_sensor("inlet", threshold=40.0)
+        load = {"value": 1.0}
+        bmc.set_load_source(lambda: load["value"])
+        bmc.start()
+        env.run(until=300.0)
+        alerts = log.query(kind="temperature_alert")
+        assert len(alerts) == 1
+        # Cool down: alert clears.
+        load["value"] = 0.0
+        env.run(until=900.0)
+        assert log.query(kind="temperature_cleared")
+
+    def test_fan_ramps_with_heat(self, env, bmc):
+        bmc.add_sensor("inlet")
+        bmc.set_load_source(lambda: 1.0)
+        bmc.start()
+        env.run(until=300.0)
+        assert bmc.fan_speed_pct > 35.0
+
+    def test_invalid_interval(self, env):
+        with pytest.raises(ValueError):
+            BMC(env, "b", EventLog(), sample_interval=0.0)
+
+
+class TestLinkHealth:
+    def test_track_and_errors(self, env):
+        log = EventLog()
+        bmc = BMC(env, "bmc0", log)
+        health = bmc.track_link("H1")
+        assert health.healthy
+        bmc.record_link_error("H1", correctable=True)
+        assert health.correctable_errors == 1
+        assert health.healthy
+        bmc.record_link_error("H1", correctable=False)
+        assert not health.healthy
+        assert log.query(kind="link_error")
+
+    def test_unknown_link(self, env):
+        bmc = BMC(env, "bmc0", EventLog())
+        with pytest.raises(KeyError):
+            bmc.record_link_error("H9")
+
+    def test_double_track_rejected(self, env):
+        bmc = BMC(env, "bmc0", EventLog())
+        bmc.track_link("H1")
+        with pytest.raises(ValueError):
+            bmc.track_link("H1")
+
+    def test_health_report_shape(self, env):
+        bmc = BMC(env, "bmc0", EventLog())
+        bmc.add_sensor("inlet")
+        bmc.track_link("H1")
+        report = bmc.health_report()
+        assert "fan_speed_pct" in report
+        assert report["sensors"]["inlet"] == pytest.approx(AMBIENT_C)
+        assert report["links"]["H1"]["healthy"]

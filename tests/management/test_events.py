@@ -1,0 +1,64 @@
+"""Unit tests for the audit event log."""
+
+import pytest
+
+from repro.management import EventLog
+
+
+class TestEventLog:
+    def test_record_and_len(self):
+        log = EventLog()
+        log.record(1.0, "attach", "alice", device="gpu0")
+        log.record(2.0, "detach", "alice", device="gpu0")
+        assert len(log) == 2
+
+    def test_query_by_kind(self):
+        log = EventLog()
+        log.record(1.0, "attach", "alice")
+        log.record(2.0, "detach", "alice")
+        log.record(3.0, "attach", "bob")
+        attaches = log.query(kind="attach")
+        assert len(attaches) == 2
+        assert {e.actor for e in attaches} == {"alice", "bob"}
+
+    def test_query_by_actor_and_since(self):
+        log = EventLog()
+        for t in range(5):
+            log.record(float(t), "tick", "alice" if t % 2 else "bob")
+        assert len(log.query(actor="alice")) == 2
+        assert len(log.query(since=3.0)) == 2
+        assert len(log.query(actor="bob", since=3.0)) == 1
+
+    def test_export_roundtrip(self):
+        import json
+        log = EventLog()
+        log.record(1.5, "attach", "alice", device="gpu0", host="host0")
+        blob = json.dumps(log.export())
+        data = json.loads(blob)
+        assert data[0]["kind"] == "attach"
+        assert data[0]["details"]["device"] == "gpu0"
+
+    def test_capacity_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        for t in range(5):
+            log.record(float(t), f"e{t}")
+        assert len(log) == 3
+        assert log.tail(1)[0].kind == "e4"
+        assert log.export()[0]["kind"] == "e2"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_subscribe(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(lambda e: seen.append(e.kind))
+        log.record(0.0, "boom")
+        assert seen == ["boom"]
+
+    def test_tail(self):
+        log = EventLog()
+        for t in range(10):
+            log.record(float(t), f"e{t}")
+        assert [e.kind for e in log.tail(3)] == ["e7", "e8", "e9"]

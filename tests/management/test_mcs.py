@@ -1,0 +1,194 @@
+"""Unit tests for the Management Center Server (roles, grants, tenancy)."""
+
+import pytest
+
+from repro.fabric import Falcon4016, Topology
+from repro.management import (
+    ManagementCenterServer,
+    PermissionError_,
+    Role,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def setup(env):
+    """An MCS with one falcon, one host, and some installed devices."""
+    topo = Topology(env)
+    mcs = ManagementCenterServer(env)
+    falcon = Falcon4016(topo, "falcon0")
+    mcs.register_falcon(falcon)
+    topo.add_node("host0/rc", kind="rc", transit=True)
+    mcs.register_host("host0")
+    falcon.connect_host("H1", "host0", "host0/rc", drawer=0)
+    for i in range(4):
+        topo.add_node(f"gpu{i}", kind="gpu")
+        falcon.install_device(f"gpu{i}", drawer=0)
+    return mcs, falcon, topo
+
+
+class TestAccounts:
+    def test_admin_exists_by_default(self, setup):
+        mcs, _, _ = setup
+        assert mcs.users["admin"].role is Role.ADMINISTRATOR
+
+    def test_create_user_requires_admin(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        with pytest.raises(PermissionError_):
+            mcs.create_user("alice", "eve")
+
+    def test_duplicate_user_rejected(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        with pytest.raises(ValueError):
+            mcs.create_user("admin", "alice")
+
+    def test_login_records_time_and_event(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        account = mcs.login("alice")
+        assert account.last_login == 0.0
+        assert mcs.log.query(kind="login", actor="alice")
+
+    def test_unknown_user(self, setup):
+        mcs, _, _ = setup
+        with pytest.raises(KeyError):
+            mcs.login("ghost")
+
+
+class TestGrants:
+    def test_grant_and_attach(self, setup):
+        mcs, falcon, _ = setup
+        mcs.create_user("admin", "alice")
+        mcs.grant_device("admin", "alice", "gpu0")
+        mcs.grant_host("admin", "alice", "host0")
+        mcs.attach("alice", "gpu0", "host0")
+        assert falcon.owner_of("gpu0") == "host0"
+
+    def test_attach_without_device_grant_denied(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        mcs.grant_host("admin", "alice", "host0")
+        with pytest.raises(PermissionError_):
+            mcs.attach("alice", "gpu0", "host0")
+
+    def test_attach_without_host_grant_denied(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        mcs.grant_device("admin", "alice", "gpu0")
+        with pytest.raises(PermissionError_):
+            mcs.attach("alice", "gpu0", "host0")
+
+    def test_tenant_isolation(self, setup):
+        """Users can't operate on each other's resources (paper §II-D)."""
+        mcs, falcon, _ = setup
+        mcs.create_user("admin", "alice")
+        mcs.create_user("admin", "bob")
+        mcs.grant_device("admin", "alice", "gpu0")
+        mcs.grant_host("admin", "alice", "host0")
+        mcs.attach("alice", "gpu0", "host0")
+        with pytest.raises(PermissionError_):
+            mcs.detach("bob", "gpu0")
+        # A device granted to alice can't be granted to bob.
+        with pytest.raises(PermissionError_):
+            mcs.grant_device("admin", "bob", "gpu0")
+
+    def test_admin_can_detach_anything(self, setup):
+        mcs, falcon, _ = setup
+        mcs.create_user("admin", "alice")
+        mcs.grant_device("admin", "alice", "gpu0")
+        mcs.grant_host("admin", "alice", "host0")
+        mcs.attach("alice", "gpu0", "host0")
+        mcs.detach("admin", "gpu0")
+        assert falcon.owner_of("gpu0") is None
+
+    def test_revoke_then_regrant(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        mcs.create_user("admin", "bob")
+        mcs.grant_device("admin", "alice", "gpu1")
+        mcs.revoke_device("admin", "alice", "gpu1")
+        mcs.grant_device("admin", "bob", "gpu1")
+        assert "gpu1" in mcs.users["bob"].granted_devices
+
+    def test_grant_unknown_device(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        with pytest.raises(KeyError):
+            mcs.grant_device("admin", "alice", "nonexistent")
+
+    def test_grant_unknown_host(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        with pytest.raises(KeyError):
+            mcs.grant_host("admin", "alice", "hostX")
+
+
+class TestViews:
+    def test_resource_list_covers_all_slots(self, setup):
+        mcs, _, _ = setup
+        resources = mcs.resource_list()
+        assert len(resources) == 16  # 2 drawers x 8 slots
+        occupied = [r for r in resources if r["device"]]
+        assert len(occupied) == 4
+        assert all(r["link_speed"] for r in occupied)
+
+    def test_topology_view(self, setup):
+        mcs, _, _ = setup
+        view = mcs.topology_view()
+        assert "falcon0" in view
+        assert view["falcon0"]["ports"]["H1"]["host"] == "host0"
+
+    def test_event_log_export_admin_only(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        with pytest.raises(PermissionError_):
+            mcs.export_event_log("alice")
+        log = mcs.export_event_log("admin")
+        assert any(e["kind"] == "falcon_registered" for e in log)
+
+    def test_config_export_import(self, setup):
+        mcs, falcon, _ = setup
+        mcs.create_user("admin", "alice")
+        mcs.grant_device("admin", "alice", "gpu0")
+        mcs.grant_host("admin", "alice", "host0")
+        mcs.attach("alice", "gpu0", "host0")
+        config = mcs.export_configuration("falcon0")
+        mcs.detach("admin", "gpu0")
+        mcs.import_configuration("admin", "falcon0", config)
+        assert falcon.owner_of("gpu0") == "host0"
+
+    def test_import_requires_admin(self, setup):
+        mcs, _, _ = setup
+        mcs.create_user("admin", "alice")
+        config = mcs.export_configuration("falcon0")
+        with pytest.raises(PermissionError_):
+            mcs.import_configuration("alice", "falcon0", config)
+
+    def test_health_report(self, setup):
+        mcs, _, _ = setup
+        report = mcs.health("falcon0")
+        assert "sensors" in report
+        assert len(report["sensors"]) == 2  # one inlet per drawer
+
+    def test_chassis_events_flow_into_log(self, setup):
+        mcs, falcon, topo = setup
+        topo.add_node("gpuX", kind="gpu")
+        falcon.install_device("gpuX", drawer=1)
+        assert mcs.log.query(kind="device_installed")
+
+    def test_double_falcon_registration_rejected(self, setup, env):
+        mcs, falcon, _ = setup
+        with pytest.raises(ValueError):
+            mcs.register_falcon(falcon)
+
+    def test_double_host_registration_rejected(self, setup):
+        mcs, _, _ = setup
+        with pytest.raises(ValueError):
+            mcs.register_host("host0")

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_train_validates_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "alexnet"])
+
+    def test_train_validates_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "resnet50", "--config", "cloud"])
+
+
+class TestStaticCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "bert-large" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "PyTorch 1.7.1" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "25.6M" in out
+        assert "BERT-L" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "falconNVMe" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "CPU - Disk" in capsys.readouterr().out
+
+
+class TestSimulationCommands:
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "NVLink" in out
+        assert "72.3" in out
+
+    def test_train_and_export(self, capsys, tmp_path):
+        target = tmp_path / "run.json"
+        assert main(["train", "resnet50", "--config", "falconGPUs",
+                     "--steps", "5", "--export", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "step time" in out
+        data = json.loads(target.read_text())
+        assert data[0]["configuration"] == "falconGPUs"
+
+    def test_recommend(self, capsys):
+        assert main(["recommend", "resnet50", "--steps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+        assert "->" in out

@@ -1,0 +1,88 @@
+"""Cross-cutting edge cases and doctest verification."""
+
+import doctest
+
+import pytest
+
+import repro.sim.core
+from repro.fabric import GB, NVLINK2_X1, Topology
+from repro.sim import Environment
+
+
+def test_sim_core_doctest():
+    """The kernel's module docstring example must actually run."""
+    results = doctest.testmod(repro.sim.core, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+class TestTransferEdges:
+    @pytest.fixture()
+    def topo(self):
+        env = Environment()
+        t = Topology(env)
+        t.add_node("a", kind="gpu")
+        t.add_node("b", kind="gpu")
+        t.add_link(NVLINK2_X1, "a", "b")
+        return t
+
+    def test_zero_byte_transfer_pays_latency_only(self, topo):
+        env = topo.env
+        done = {}
+
+        def go():
+            yield topo.transfer("a", "b", 0.0)
+            done["t"] = env.now
+
+        env.process(go())
+        env.run()
+        assert done["t"] == pytest.approx(topo.path_latency("a", "b"))
+
+    def test_self_transfer_is_free_of_streaming(self, topo):
+        env = topo.env
+        done = {}
+
+        def go():
+            yield topo.transfer("a", "a", 10 * GB)
+            done["t"] = env.now
+
+        env.process(go())
+        env.run()
+        # No route segments: only the fixed software overhead.
+        assert done["t"] == pytest.approx(topo.transfer_overhead)
+
+    def test_transfer_to_unknown_node_raises_eagerly(self, topo):
+        with pytest.raises(KeyError):
+            topo.transfer("a", "ghost", 1.0)
+
+
+class TestBenchmarkConsistency:
+    def test_every_benchmark_fits_its_paper_batch(self):
+        """Each benchmark's default global batch must fit 8 GPUs under
+        the default strategy and precision — otherwise the Table III
+        experiments could not have run."""
+        from repro.devices import V100_SXM2_16GB
+        from repro.training import AMP_POLICY, DistributedDataParallel
+        from repro.workloads import benchmark_names, get_benchmark
+        ddp = DistributedDataParallel()
+        for key in benchmark_names():
+            b = get_benchmark(key)
+            per_gpu = b.global_batch // 8
+            need = ddp.memory_per_gpu(b.build(), AMP_POLICY, per_gpu, 8)
+            assert need <= V100_SXM2_16GB.memory_bytes, \
+                f"{key}: {need / 1e9:.1f} GB at batch {per_gpu}/GPU"
+
+    def test_every_benchmark_divisible_by_eight(self):
+        from repro.workloads import benchmark_names, get_benchmark
+        for key in benchmark_names():
+            assert get_benchmark(key).global_batch % 8 == 0, key
+
+    def test_datasets_fit_host_page_cache(self):
+        """The auto-caching heuristic applies to all three datasets on
+        the 756 GB hosts (what makes steady-state loader storage-free)."""
+        from repro.devices import SUPERMICRO_4029GP_TVRT
+        from repro.workloads import benchmark_names, get_benchmark
+        for key in benchmark_names():
+            ds = get_benchmark(key).dataset
+            assert ds.epoch_disk_bytes() \
+                < 0.5 * SUPERMICRO_4029GP_TVRT.memory_bytes, key

@@ -1,0 +1,103 @@
+"""Property-based tests on collective-communication invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fabric import GB, LinkSpec, Protocol, Topology
+from repro.sim import Environment
+from repro.training import Communicator
+from repro.training.collectives import TRANSPORT_PENALTY
+
+
+def ring_topology(env, n, bw_gbps=10.0):
+    topo = Topology(env)
+    names = [f"g{i}" for i in range(n)]
+    spec = LinkSpec("t", Protocol.NVLINK2, 1, bw_gbps * GB, 0.0)
+    for name in names:
+        topo.add_node(name, kind="gpu")
+    # n == 2 needs a single (full-duplex) link, not two parallel ones.
+    for i in range(n if n > 2 else 1):
+        topo.add_link(spec, names[i], names[(i + 1) % n])
+    return topo, names
+
+
+def run_allreduce(n, nbytes, bw_gbps=10.0):
+    env = Environment()
+    topo, names = ring_topology(env, n, bw_gbps)
+    comm = Communicator(env, topo, names)
+    events = [comm.allreduce(r, nbytes) for r in range(n)]
+    env.run(until=events[0])
+    return env.now, topo
+
+
+class TestAllreduceProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        mbytes=st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_bandwidth_lower_bound(self, n, mbytes):
+        """Allreduce time >= the ring bandwidth term
+        2(N-1)/N x B / link_bw (with the NVLink transport factor)."""
+        nbytes = mbytes * 1e6
+        elapsed, _ = run_allreduce(n, nbytes)
+        penalty = TRANSPORT_PENALTY[Protocol.NVLINK2]
+        bound = 2 * (n - 1) / n * nbytes * penalty / (10.0 * GB)
+        assert elapsed >= bound * (1 - 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        mbytes=st.floats(min_value=1.0, max_value=200.0),
+    )
+    def test_traffic_symmetric_across_ranks(self, n, mbytes):
+        """Every ring link moves the same number of bytes."""
+        nbytes = mbytes * 1e6
+        _, topo = run_allreduce(n, nbytes)
+        moved = []
+        for link in topo.links():
+            total = sum(c.total for c in link.counters.values())
+            moved.append(total)
+        assert max(moved) == pytest.approx(min(moved), rel=1e-6)
+
+    @settings(max_examples=15, deadline=None)
+    @given(mbytes=st.floats(min_value=1.0, max_value=200.0))
+    def test_time_affine_in_volume(self, mbytes):
+        """Time is affine in payload: a fixed per-phase setup cost plus a
+        bandwidth term, so the marginal cost of extra bytes is constant."""
+        t1, _ = run_allreduce(4, mbytes * 1e6)
+        t2, _ = run_allreduce(4, 2 * mbytes * 1e6)
+        t3, _ = run_allreduce(4, 3 * mbytes * 1e6)
+        assert t3 - t2 == pytest.approx(t2 - t1, rel=1e-6)
+        assert t2 > t1
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=8))
+    def test_bandwidth_term_saturates_with_world_size(self, n):
+        """Per the 2(N-1)/N law, time grows sublinearly and approaches
+        2B/bw as N grows."""
+        nbytes = 80e6
+        t, _ = run_allreduce(n, nbytes)
+        penalty = TRANSPORT_PENALTY[Protocol.NVLINK2]
+        asymptote = 2 * nbytes * penalty / (10.0 * GB)
+        assert t <= asymptote * (1 + 1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        rounds=st.integers(min_value=1, max_value=4),
+    )
+    def test_sequential_collectives_additive(self, n, rounds):
+        env = Environment()
+        topo, names = ring_topology(env, n)
+        comm = Communicator(env, topo, names)
+
+        def rank(r):
+            for _ in range(rounds):
+                yield comm.allreduce(r, 40e6)
+
+        procs = [env.process(rank(r)) for r in range(n)]
+        env.run()
+        single, _ = run_allreduce(n, 40e6)
+        assert env.now == pytest.approx(rounds * single, rel=1e-6)
+        assert comm.completed_ops == rounds

@@ -1,0 +1,198 @@
+"""Unit tests for the NCCL-style communicator."""
+
+import pytest
+
+from repro.fabric import GB, NVLINK2_X1, PCIE_GEN4_X16, Topology
+from repro.sim import Environment
+from repro.training import CollectiveError, Communicator
+
+
+def ring_topology(env, n=4, spec=NVLINK2_X1):
+    """n GPUs in a simple ring (each adjacent pair directly linked)."""
+    topo = Topology(env)
+    names = [f"g{i}" for i in range(n)]
+    for name in names:
+        topo.add_node(name, kind="gpu")
+    for i in range(n):
+        topo.add_link(spec, names[i], names[(i + 1) % n])
+    return topo, names
+
+
+def run_collective(env, comm, op, nbytes, **kw):
+    events = [getattr(comm, op)(rank, nbytes, **kw)
+              for rank in range(comm.world_size)]
+    env.run(until=events[0])
+    return env.now
+
+
+class TestRendezvous:
+    def test_allreduce_waits_for_all_ranks(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+        done = comm.allreduce(0, 1 * GB)
+        env.run(until=10.0)
+        assert not done.triggered  # ranks 1-3 never arrived
+
+    def test_straggler_sets_start_time(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+        finish = {}
+
+        def rank(r, delay):
+            yield env.timeout(delay)
+            yield comm.allreduce(r, 1e6)
+            finish[r] = env.now
+
+        for r in range(4):
+            env.process(rank(r, 5.0 if r == 3 else 0.0))
+        env.run()
+        assert all(t > 5.0 for t in finish.values())
+
+    def test_mismatched_collective_rejected(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+        comm.allreduce(0, 100.0)
+        with pytest.raises(CollectiveError, match="mismatch"):
+            comm.broadcast(1, 100.0)
+
+    def test_mismatched_bytes_rejected(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+        comm.allreduce(0, 100.0)
+        with pytest.raises(CollectiveError):
+            comm.allreduce(1, 200.0)
+
+    def test_double_join_rejected(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+        comm.allreduce(0, 100.0)
+        # Rank 0's *next* call is op 1; rank 1 joining op 0 is fine, but a
+        # mismatched second arrival for the same (rank, op) is caught via
+        # op sequencing — simulate by a manual duplicate join.
+        with pytest.raises(CollectiveError):
+            comm._join(0, "allreduce", 100.0, None)
+            comm._op_seq[0] = 0  # force reuse
+            comm._join(0, "allreduce", 100.0, None)
+
+    def test_rank_out_of_range(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+        with pytest.raises(CollectiveError):
+            comm.allreduce(4, 1.0)
+        with pytest.raises(CollectiveError):
+            comm.allreduce(0, -1.0)
+        with pytest.raises(CollectiveError):
+            comm.broadcast(0, 1.0, root=9)
+
+    def test_duplicate_ranks_rejected(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        with pytest.raises(CollectiveError):
+            Communicator(env, topo, [names[0], names[0]])
+
+
+class TestSemantics:
+    def test_single_rank_collectives_are_free(self):
+        env = Environment()
+        topo = Topology(env)
+        topo.add_node("g0", kind="gpu")
+        comm = Communicator(env, topo, ["g0"])
+        t = run_collective(env, comm, "allreduce", 1 * GB)
+        assert t == 0.0
+
+    def test_barrier_moves_no_data(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+        events = [comm.barrier(r) for r in range(4)]
+        env.run(until=events[0])
+        for link in topo.links():
+            for counter in link.counters.values():
+                assert counter.total == 0.0
+
+    def test_allreduce_traffic_volume(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+        nbytes = 4e6
+        run_collective(env, comm, "allreduce", nbytes)
+        # Ring allreduce: each rank sends 2(N-1)/N x nbytes, inflated by
+        # the NVLink transport penalty (1.05).
+        expected_per_rank = comm.allreduce_bytes_on_wire(nbytes) * 1.05
+        total = sum(c.total for link in topo.links()
+                    for c in link.counters.values())
+        assert total == pytest.approx(4 * expected_per_rank, rel=1e-6)
+
+    def test_reduce_scatter_is_half_allreduce(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        c1 = Communicator(env, topo, names)
+        t_ar = run_collective(env, c1, "allreduce", 80e6)
+        c2 = Communicator(env, topo, names)
+        t0 = env.now
+        events = [c2.reduce_scatter(r, 80e6) for r in range(4)]
+        env.run(until=events[0])
+        t_rs = env.now - t0
+        assert t_rs == pytest.approx(t_ar / 2, rel=0.05)
+
+    def test_broadcast_bottlenecks_at_root(self):
+        env = Environment()
+        # Star: root connected to 3 leaves via separate links.
+        topo = Topology(env)
+        names = ["root", "a", "b", "c"]
+        for n in names:
+            topo.add_node(n, kind="gpu")
+        topo.add_node("sw", kind="sw", transit=True)
+        for n in names:
+            topo.add_link(PCIE_GEN4_X16, n, "sw")
+        comm = Communicator(env, topo, names)
+        nbytes = 12.3 * GB / 2.2  # 1 s per leaf at line rate after penalty
+        events = [comm.broadcast(r, nbytes, root=0) for r in range(4)]
+        env.run(until=events[0])
+        # Root's single uplink serves 3 concurrent sends -> ~3 s.
+        assert env.now == pytest.approx(3.0, rel=0.02)
+
+    def test_allreduce_bytes_on_wire_formula(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+        assert comm.allreduce_bytes_on_wire(8.0) == pytest.approx(
+            2 * 3 / 4 * 8.0)
+
+    def test_sequential_collectives_complete(self):
+        env = Environment()
+        topo, names = ring_topology(env)
+        comm = Communicator(env, topo, names)
+
+        def rank(r):
+            for _ in range(3):
+                yield comm.allreduce(r, 1e6)
+
+        procs = [env.process(rank(r)) for r in range(4)]
+        env.run()
+        assert comm.completed_ops == 3
+        assert all(p.ok for p in procs)
+
+    def test_nvlink_ring_faster_than_pcie_ring(self):
+        env = Environment()
+        topo_nv, names_nv = ring_topology(env, spec=NVLINK2_X1)
+        comm_nv = Communicator(env, topo_nv, names_nv)
+        t0 = env.now
+        events = [comm_nv.allreduce(r, 100e6) for r in range(4)]
+        env.run(until=events[0])
+        t_nv = env.now - t0
+
+        env2 = Environment()
+        topo_p, names_p = ring_topology(env2, spec=PCIE_GEN4_X16)
+        comm_p = Communicator(env2, topo_p, names_p)
+        events = [comm_p.allreduce(r, 100e6) for r in range(4)]
+        env2.run(until=events[0])
+        t_pcie = env2.now
+        # NVLink: higher bandwidth AND lower transport penalty.
+        assert t_nv < t_pcie / 3

@@ -1,0 +1,166 @@
+"""Integration tests for the training loop on the composable system."""
+
+import pytest
+
+from repro import (
+    AMP_POLICY,
+    ComposableSystem,
+    DataParallel,
+    DistributedDataParallel,
+    FP32_POLICY,
+    ShardedDataParallel,
+)
+from repro.training.loop import TrainingConfig, TrainingJob
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    """One shared small run for read-only assertions."""
+    system = ComposableSystem()
+    return system.train("resnet50", configuration="localGPUs", sim_steps=8)
+
+
+class TestBasicRun:
+    def test_result_fields(self, quick_result):
+        r = quick_result
+        assert r.benchmark_key == "resnet50"
+        assert r.world_size == 8
+        assert r.steps_simulated == 8
+        assert r.step_time > 0
+        assert r.checkpoint_time > 0
+        assert r.t_end > r.t_start
+
+    def test_throughput_plausible_for_v100s(self, quick_result):
+        # ResNet-50 FP16 DDP on 8xV100: ~2500-4500 img/s.
+        assert 2000 < quick_result.throughput < 6000
+
+    def test_estimates_compose(self, quick_result):
+        r = quick_result
+        assert r.epoch_time == pytest.approx(
+            r.steps_per_epoch * r.step_time
+            + r.checkpoints_per_epoch * r.checkpoint_time)
+        assert r.total_time >= r.epochs * r.epoch_time
+
+    def test_summary_keys(self, quick_result):
+        s = quick_result.summary()
+        assert s["benchmark"] == "resnet50"
+        assert s["strategy"] == "ddp"
+        assert s["total_time_s"] > 0
+
+    def test_telemetry_collected(self, quick_result):
+        r = quick_result
+        util = r.collector.mean_gpu_utilization(r.t_start, r.t_end)
+        assert 0 < util <= 100
+
+
+class TestConfigurations:
+    def test_falcon_slower_than_local_for_bert(self):
+        t = {}
+        for cfg in ("localGPUs", "falconGPUs"):
+            system = ComposableSystem()
+            t[cfg] = system.train("bert-large", configuration=cfg,
+                                  sim_steps=6).step_time
+        assert t["falconGPUs"] > 1.5 * t["localGPUs"]
+
+    def test_vision_overhead_small(self):
+        t = {}
+        for cfg in ("localGPUs", "falconGPUs"):
+            system = ComposableSystem()
+            t[cfg] = system.train("resnet50", configuration=cfg,
+                                  sim_steps=6).step_time
+        assert t["falconGPUs"] < 1.07 * t["localGPUs"]
+
+    def test_unknown_configuration_rejected(self):
+        system = ComposableSystem()
+        with pytest.raises(KeyError):
+            system.train("resnet50", configuration="cloudGPUs")
+
+    def test_hybrid_uses_both_pools(self):
+        system = ComposableSystem()
+        active = system.configure("hybridGPUs")
+        names = active.gpu_names
+        assert sum(n.startswith("host0") for n in names) == 4
+        assert sum(n.startswith("falcon0") for n in names) == 4
+
+
+class TestStrategies:
+    def test_dp_slower_than_ddp(self):
+        t = {}
+        for name, strategy in [("dp", DataParallel()),
+                               ("ddp", DistributedDataParallel())]:
+            system = ComposableSystem()
+            t[name] = system.train("bert-large", strategy=strategy,
+                                   sim_steps=6).step_time
+        assert t["dp"] > 1.2 * t["ddp"]
+
+    def test_fp32_slower_than_amp(self):
+        t = {}
+        for name, policy in [("fp32", FP32_POLICY), ("amp", AMP_POLICY)]:
+            system = ComposableSystem()
+            t[name] = system.train("bert-large", policy=policy,
+                                   global_batch=16,
+                                   sim_steps=6).step_time
+        # Mixed precision gives >50% speedup (paper Fig. 16).
+        assert t["fp32"] > 1.5 * t["amp"]
+
+    def test_sharded_allows_batch_80(self):
+        system = ComposableSystem()
+        r = system.train("bert-large", strategy=ShardedDataParallel(),
+                         global_batch=80, sim_steps=6)
+        assert r.global_batch == 80
+
+    def test_ddp_batch_80_exceeds_memory(self):
+        system = ComposableSystem()
+        with pytest.raises(MemoryError):
+            system.train("bert-large", strategy=DistributedDataParallel(),
+                         global_batch=80, sim_steps=6)
+
+
+class TestValidation:
+    def test_indivisible_batch_rejected(self):
+        system = ComposableSystem()
+        with pytest.raises(ValueError, match="divisible"):
+            system.train("resnet50", global_batch=100, sim_steps=4)
+
+    def test_needs_gpus(self):
+        system = ComposableSystem()
+        cfg = TrainingConfig(benchmark=get_benchmark("resnet50"))
+        with pytest.raises(ValueError):
+            TrainingJob(system.env, system.topology, system.host, [],
+                        system.host.scratch, cfg)
+
+
+class TestCheckpointing:
+    def test_checkpoint_writes_to_storage(self):
+        system = ComposableSystem()
+        before = system.host.scratch.bytes_written.total
+        system.train("resnet50", configuration="localGPUs", sim_steps=8)
+        after = system.host.scratch.bytes_written.total
+        model = get_benchmark("resnet50").build()
+        assert after - before >= model.params * 12.0
+
+    def test_checkpoint_faster_on_nvme(self):
+        t = {}
+        for cfg in ("localGPUs", "localNVMe"):
+            system = ComposableSystem()
+            t[cfg] = system.train("bert-large", configuration=cfg,
+                                  sim_steps=6).checkpoint_time
+        assert t["localNVMe"] < t["localGPUs"]
+
+
+class TestStagingOverhead:
+    def test_vision_staging_positive_on_scratch(self):
+        system = ComposableSystem()
+        r = system.train("mobilenetv2", configuration="localGPUs",
+                         sim_steps=6)
+        # ImageNet staging from SATA scratch exceeds one epoch of compute.
+        assert r.staging_overhead >= 0
+
+    def test_nvme_reduces_staging(self):
+        t = {}
+        for cfg in ("localGPUs", "localNVMe"):
+            system = ComposableSystem()
+            t[cfg] = system.train("yolov5l", configuration=cfg,
+                                  sim_steps=6).staging_overhead
+        assert t["localNVMe"] <= t["localGPUs"]

@@ -1,0 +1,128 @@
+"""Focused tests for training-loop internals (staging, windows,
+checkpoint placement, dataset caching)."""
+
+import pytest
+
+from repro import ComposableSystem
+from repro.training import TrainingConfig, TrainingJob
+from repro.training.loop import HOST_FRAMEWORK_BYTES, TrainingResult
+from repro.workloads import get_benchmark
+
+
+class TestCheckpointPlacement:
+    def test_positions_deterministic(self):
+        steps = TrainingJob._checkpoint_steps(24, 2)
+        assert steps == frozenset({7, 15})
+
+    def test_zero_checkpoints(self):
+        assert TrainingJob._checkpoint_steps(24, 0) == frozenset()
+        assert TrainingJob._checkpoint_steps(0, 3) == frozenset()
+
+    def test_more_checkpoints_than_steps(self):
+        steps = TrainingJob._checkpoint_steps(3, 10)
+        assert steps <= {0, 1, 2}
+        assert steps
+
+
+class TestSteadyWindows:
+    def make_result(self, spans, t0=0.0, t1=10.0):
+        return TrainingResult(
+            benchmark_key="x", strategy_name="ddp", policy_name="amp",
+            world_size=8, global_batch=64, steps_simulated=4,
+            step_time=0.1, step_time_std=0.0, checkpoint_time=1.0,
+            staging_overhead=0.0, steps_per_epoch=10, epochs=1,
+            checkpoints_per_epoch=1, t_start=t0, t_end=t1,
+            collector=None, checkpoint_spans=spans)
+
+    def test_no_checkpoints_whole_window(self):
+        r = self.make_result([])
+        assert r.steady_windows() == [(0.0, 10.0)]
+
+    def test_single_span_splits(self):
+        r = self.make_result([(4.0, 6.0)])
+        assert r.steady_windows() == [(0.0, 4.0), (6.0, 10.0)]
+
+    def test_span_at_end(self):
+        r = self.make_result([(8.0, 10.0)])
+        assert r.steady_windows() == [(0.0, 8.0)]
+
+    def test_overlapping_spans_merged(self):
+        r = self.make_result([(2.0, 5.0), (4.0, 7.0)])
+        assert r.steady_windows() == [(0.0, 2.0), (7.0, 10.0)]
+
+    def test_unordered_spans(self):
+        r = self.make_result([(6.0, 7.0), (1.0, 2.0)])
+        assert r.steady_windows() == [(0.0, 1.0), (2.0, 6.0),
+                                      (7.0, 10.0)]
+
+
+class TestDatasetCaching:
+    def test_imagenet_fits_in_host_memory(self):
+        system = ComposableSystem()
+        config = TrainingConfig(benchmark=get_benchmark("resnet50"),
+                                sim_steps=2)
+        job = TrainingJob(system.env, system.topology, system.host,
+                          system.host.gpus, system.host.scratch, config)
+        assert job._dataset_cached
+
+    def test_forced_uncached_reads_storage(self):
+        system = ComposableSystem()
+        before = system.host.scratch.bytes_read.total
+        system.train("bert-base", sim_steps=4, dataset_cached=False)
+        assert system.host.scratch.bytes_read.total > before
+
+    def test_cached_skips_storage_reads(self):
+        system = ComposableSystem()
+        before = system.host.scratch.bytes_read.total
+        system.train("bert-base", sim_steps=4, dataset_cached=True,
+                     sim_checkpoints=0)
+        assert system.host.scratch.bytes_read.total == before
+
+    def test_uncached_run_reports_zero_staging(self):
+        system = ComposableSystem()
+        r = system.train("mobilenetv2", sim_steps=3,
+                         dataset_cached=False, sim_checkpoints=0)
+        # In-band reads: staging is already inside the measured steps.
+        assert r.staging_overhead == 0.0
+
+
+class TestStaging:
+    def test_staging_time_uses_mosaic_factor(self):
+        system = ComposableSystem()
+        config = TrainingConfig(benchmark=get_benchmark("yolov5l"),
+                                sim_steps=2)
+        active = system.configure("localGPUs")
+        job = TrainingJob(system.env, system.topology, system.host,
+                          list(active.gpus), active.storage, config)
+        dataset = get_benchmark("yolov5l").dataset
+        expected = dataset.epoch_disk_bytes() * 4.0 \
+            / system.host.scratch.spec.read_bandwidth
+        assert job.staging_time() == pytest.approx(expected)
+
+    def test_checkpoint_bytes_cover_training_state(self):
+        system = ComposableSystem()
+        config = TrainingConfig(benchmark=get_benchmark("bert-large"),
+                                sim_steps=2)
+        job = TrainingJob(system.env, system.topology, system.host,
+                          system.host.gpus, system.host.scratch, config)
+        # FP32 master + two moments: 12 bytes per parameter.
+        assert job.checkpoint_bytes == pytest.approx(
+            job.model.params * 12.0)
+
+
+class TestHostMemoryAccounting:
+    def test_host_memory_released_after_job(self):
+        system = ComposableSystem()
+        level_before = system.host.memory.level
+        system.train("resnet50", sim_steps=3)
+        assert system.host.memory.level == pytest.approx(level_before,
+                                                         abs=1e6)
+
+    def test_gpu_memory_released_after_job(self):
+        system = ComposableSystem()
+        system.train("resnet50", sim_steps=3)
+        assert all(g.memory.level == pytest.approx(0.0)
+                   for g in system.host.gpus)
+
+    def test_framework_bytes_constant(self):
+        assert HOST_FRAMEWORK_BYTES > 1e9
