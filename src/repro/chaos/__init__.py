@@ -1,0 +1,21 @@
+"""Chaos engineering for the composable test bed.
+
+Deterministic, seedable fault injection against the simulated fabric:
+:class:`FaultScenario` describes *what* goes wrong and *when* (scripted
+by hand, loaded from plain dicts, or randomized from a seed), and
+:class:`FaultInjector` executes a scenario against a live system —
+pulling cables, dropping GPUs, flapping host ports, degrading links —
+while recording an event trace that is bit-identical across runs with
+the same seed.
+"""
+
+from .injector import FaultInjector, InjectionError
+from .scenario import FaultEvent, FaultScenario, ScenarioError
+
+__all__ = [
+    "FaultEvent",
+    "FaultScenario",
+    "ScenarioError",
+    "FaultInjector",
+    "InjectionError",
+]

@@ -9,6 +9,8 @@ Usage::
     python -m repro fig15 [--steps N]
     python -m repro fig16 [--steps N]
     python -m repro sharing                 # future-work tenancy studies
+    python -m repro fault-tolerance [--config NAME] [--steps N] [--seed S]
+                                            # chaos + recovery study
     python -m repro recommend <benchmark>   # topology recommendation
     python -m repro train <benchmark> [--config NAME] [--steps N]
                                             [--export out.csv|out.json]
@@ -49,6 +51,23 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"run the {name} experiment")
         p.add_argument("--steps", type=int, default=8,
                        help="simulated optimizer steps per run")
+
+    ft = sub.add_parser("fault-tolerance",
+                        help="chaos scenario vs resilient training")
+    ft.add_argument("--benchmark", default="bert-large",
+                    choices=benchmark_names())
+    ft.add_argument("--config", default="falconGPUs",
+                    choices=CONFIGURATION_ORDER)
+    ft.add_argument("--steps", type=int, default=8)
+    ft.add_argument("--interval", type=int, default=2,
+                    help="checkpoint every N optimizer steps")
+    ft.add_argument("--seed", type=int, default=None,
+                    help="randomized scenario seed (default: scripted "
+                         "cable-pull scenario)")
+    ft.add_argument("--no-spare", action="store_true",
+                    help="do not install a standby chassis GPU")
+    ft.add_argument("--sweep", action="store_true",
+                    help="also sweep checkpoint cadence under a port flap")
 
     rec = sub.add_parser("recommend",
                          help="recommend a topology for a benchmark")
@@ -95,7 +114,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "list":
         out("artifacts: table1 table2 table3 table4 fig5 fig9 fig10 "
-            "fig11 fig12 fig13 fig14 fig15 fig16 sharing\n")
+            "fig11 fig12 fig13 fig14 fig15 fig16 sharing "
+            "fault-tolerance\n")
         out("benchmarks: " + " ".join(benchmark_names()) + "\n")
         out("configurations: " + " ".join(CONFIGURATION_ORDER) + "\n")
         return 0
@@ -237,6 +257,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ["Batch/GPU", "Falcon overhead %"],
             [(p.batch_per_gpu, round(p.overhead_pct, 1)) for p in batch],
             title="Overhead vs per-GPU batch (BERT-large)") + "\n")
+        return 0
+
+    if args.command == "fault-tolerance":
+        from .experiments import (checkpoint_cadence_sweep,
+                                  fault_tolerance_study)
+        r = fault_tolerance_study(
+            benchmark=args.benchmark, configuration=args.config,
+            sim_steps=args.steps, checkpoint_interval=args.interval,
+            spare=not args.no_spare, seed=args.seed)
+        out(render_table(
+            ["Metric", "Value"],
+            [("scenario", r.scenario),
+             ("completed", r.completed),
+             ("attempts", r.attempts),
+             ("faults detected", r.faults),
+             ("lost steps (rolled back)", r.lost_steps),
+             ("MTTR (s)", round(r.mttr, 2)),
+             ("raw throughput (samples/s)", round(r.raw_throughput, 1)),
+             ("goodput (samples/s)", round(r.goodput, 1)),
+             ("goodput fraction", round(r.goodput_fraction, 3)),
+             ("final world size", r.final_world_size),
+             ("recovery actions", " ".join(r.recovery_actions) or "-")],
+            title=f"{args.benchmark} on {args.config} under chaos")
+            + "\n")
+        if args.sweep:
+            sweep = checkpoint_cadence_sweep(
+                benchmark=args.benchmark, sim_steps=max(8, args.steps))
+            out("\n" + render_table(
+                ["Ckpt interval", "Goodput", "Lost steps", "Wall s"],
+                [(s.checkpoint_interval, round(s.goodput, 1),
+                  s.lost_steps, round(s.wall_time, 2)) for s in sweep],
+                title="Checkpoint cadence under H1 port flap") + "\n")
         return 0
 
     if args.command == "recommend":

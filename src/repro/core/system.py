@@ -32,7 +32,7 @@ from ..devices import (
 )
 from ..fabric import Falcon4016, FalconMode, RING_ORDER, Topology
 from ..fabric.link import PCIE_GEN4_X4
-from ..management import ManagementCenterServer
+from ..management import Inventory, ManagementCenterServer
 from ..sim import Environment
 from ..telemetry import MetricsCollector
 from ..training import (
@@ -87,6 +87,9 @@ class ComposableSystem:
         self.falcon.connect_host("H1", "host0", self.host.rc_node, drawer=0)
         self.falcon.connect_host("H2", "host0", self.host.rc_node, drawer=1)
 
+        # Hot-plug inventory over the chassis (fault-recovery spares).
+        self.inventory = Inventory(self.mcs, self.falcon)
+
         # Eight PCIe V100s, four per drawer, allocated to the host.
         self.falcon_gpus: list[GPU] = []
         for i in range(8):
@@ -94,7 +97,9 @@ class ComposableSystem:
                       V100_PCIE_16GB)
             self.falcon.install_device(gpu.name, drawer=i // 4)
             self.falcon.allocate(gpu.name, "host0")
+            self.inventory.register_gpu(gpu)
             self.falcon_gpus.append(gpu)
+        self._next_falcon_gpu = 8
 
         # 4 TB NVMe in drawer 1 ("Drawer 2" in the paper's 1-based text).
         self.falcon_nvme = StorageDevice(self.env, self.topology,
@@ -105,6 +110,21 @@ class ComposableSystem:
 
         # Local NVMe for the localNVMe configuration.
         self.local_nvme = self.host.attach_nvme(SSDPEDKX040T7)
+
+    # -- spares --------------------------------------------------------------
+    def install_spare_gpu(self, drawer: int = 0) -> GPU:
+        """Seat an unallocated standby V100 in the chassis.
+
+        The spare is installed and inventory-tracked but owned by no
+        host; a fault-tolerant job hot-adds it through the management
+        plane when a ring GPU dies.
+        """
+        gpu = GPU(self.env, self.topology,
+                  f"falcon0/gpu{self._next_falcon_gpu}", V100_PCIE_16GB)
+        self._next_falcon_gpu += 1
+        self.falcon.install_device(gpu.name, drawer=drawer)
+        self.inventory.register_gpu(gpu)
+        return gpu
 
     # -- configurations -----------------------------------------------------
     def configuration_names(self) -> tuple[str, ...]:

@@ -16,7 +16,9 @@ Fig. 16       :func:`repro.experiments.software_opts.software_optimization_study
 
 Beyond the paper: :mod:`~repro.experiments.sharing` (advanced-mode
 tenancy, ring placement, reconfiguration), :mod:`~repro.experiments.
-resilience` (degraded uplinks), :mod:`~repro.experiments.scale_out`
+resilience` (degraded uplinks), :mod:`~repro.experiments.
+fault_tolerance` (chaos scenarios vs checkpoint-restart + hot-plug
+recovery), :mod:`~repro.experiments.scale_out`
 (NVLink vs PCIe fabric vs Ethernet), :mod:`~repro.experiments.
 dual_connection` (paper §III-B cabling), :mod:`~repro.experiments.
 scaling_laws` (what actually drives the size-overhead correlation),
@@ -25,6 +27,12 @@ framework), and :mod:`~repro.experiments.export` (CSV/JSON writers).
 """
 
 from .dual_connection import DualConnectionResult, dual_connection_study
+from .fault_tolerance import (
+    FaultToleranceRecord,
+    cable_pull_scenario,
+    checkpoint_cadence_sweep,
+    fault_tolerance_study,
+)
 from .export import (
     record_to_dict,
     records_to_csv,
@@ -109,6 +117,10 @@ __all__ = [
     "reconfiguration_study",
     "DegradationResult",
     "degraded_uplink_study",
+    "FaultToleranceRecord",
+    "cable_pull_scenario",
+    "fault_tolerance_study",
+    "checkpoint_cadence_sweep",
     "ScaleOutResult",
     "allreduce_scale_out_study",
     "DualConnectionResult",

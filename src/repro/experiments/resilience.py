@@ -57,16 +57,6 @@ def degraded_uplink_study(benchmark: str = "bert-large",
     _, h1_link, _ = drawer0.hosts["host0"][0]
     original_spec = h1_link.spec
 
-    split_time = {}
-
-    def chaos():
-        # Let half the steps complete healthy first; the trigger time is
-        # discovered by watching the job's progress via step count.
-        while len(job._step_times) < sim_steps // 2:
-            yield env.timeout(0.05)
-        split_time["t"] = env.now
-        system.topology.degrade_link(h1_link, lanes)
-
     from ..training import TrainingConfig, TrainingJob
     from ..workloads import get_benchmark
     active = system.configure(configuration)
@@ -78,16 +68,27 @@ def degraded_uplink_study(benchmark: str = "bert-large",
     )
     job = TrainingJob(env, system.topology, system.host,
                       list(active.gpus), active.storage, config)
-    env.process(chaos())
-    done = job.start()
-    env.run(until=done)
 
-    steps = np.asarray(job._step_times)
     half = sim_steps // 2
+
+    def degrade_at_half(steps_done: int, _now: float) -> None:
+        # Fires synchronously as the half-way step completes — no
+        # polling loop, and exact alignment with the step boundary.
+        if steps_done == half:
+            system.topology.degrade_link(h1_link, lanes)
+
+    job.add_step_listener(degrade_at_half)
+    try:
+        done = job.start()
+        env.run(until=done)
+    finally:
+        # Re-seat the cable even if the run dies, so the system is
+        # reusable by follow-on studies sharing this environment.
+        system.topology.restore_link(h1_link, original_spec)
+
+    steps = np.asarray(job.step_times)
     healthy = float(np.mean(steps[1:half]))      # skip warmup step
     degraded = float(np.mean(steps[half + 1:]))  # skip the cut-over step
-    # Restore for any follow-on use of the system.
-    system.topology.restore_link(h1_link, original_spec)
     return DegradationResult(
         benchmark=benchmark,
         configuration=configuration,

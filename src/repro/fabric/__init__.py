@@ -32,7 +32,14 @@ from .link import (
 )
 from .nvlink import HYBRID_CUBE_MESH_EDGES, RING_ORDER, build_hybrid_cube_mesh
 from .pcie import PCIeSwitch, RootComplex
-from .topology import LinkFailure, NoRouteError, Node, Route, Topology
+from .topology import (
+    DeviceFailure,
+    LinkFailure,
+    NoRouteError,
+    Node,
+    Route,
+    Topology,
+)
 from .traffic import NodeTraffic, node_rate_series, node_traffic
 
 __all__ = [
@@ -60,6 +67,7 @@ __all__ = [
     "Route",
     "NoRouteError",
     "LinkFailure",
+    "DeviceFailure",
     "PCIeSwitch",
     "RootComplex",
     "Falcon4016",

@@ -226,6 +226,10 @@ class Link:
         if a == b:
             raise ValueError(f"link endpoints must differ, got {a!r} twice")
         self.spec = spec
+        #: The spec the link was built with — what a full repair restores.
+        self.original_spec = spec
+        #: True while the link is hard-failed (cable pulled).
+        self.failed = False
         self.a = a
         self.b = b
         self.id = next(_link_ids)

@@ -27,15 +27,25 @@ from ..sim import Environment, Event, Process
 from .flows import FlowScheduler, Segment
 from .link import Link, LinkSpec, US
 
-__all__ = ["Topology", "Node", "Route", "NoRouteError"]
+__all__ = ["Topology", "Node", "Route", "NoRouteError", "LinkFailure",
+           "DeviceFailure"]
 
 #: Fixed software/DMA initiation overhead per transfer, seconds.  Combined
 #: with per-link latencies this reproduces Table IV's P2P write latencies.
 DEFAULT_TRANSFER_OVERHEAD = 1.30 * US
 
 
-class NoRouteError(Exception):
-    """No path exists between the requested endpoints."""
+class NoRouteError(KeyError):
+    """No path exists between the requested endpoints.
+
+    Subclasses :class:`KeyError` so callers that historically caught the
+    routing layer's ``KeyError`` for unknown endpoints keep working; new
+    code should catch ``NoRouteError`` for both the unknown-node and the
+    failed-link case.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
 
 
 class LinkFailure(Exception):
@@ -44,6 +54,14 @@ class LinkFailure(Exception):
     def __init__(self, link_name: str):
         super().__init__(f"link {link_name} failed")
         self.link_name = link_name
+
+
+class DeviceFailure(Exception):
+    """A fabric endpoint device (GPU, NVMe, NIC) dropped off the fabric."""
+
+    def __init__(self, device: str):
+        super().__init__(f"device {device} failed")
+        self.device = device
 
 
 @dataclass
@@ -102,6 +120,7 @@ class Topology:
         self._nodes: dict[str, Node] = {}
         self._adjacency: dict[str, list[Link]] = {}
         self._route_cache: dict[tuple[str, str], Route] = {}
+        self._failed_links: set[Link] = set()
 
     # -- construction ----------------------------------------------------
     def add_node(self, name: str, kind: str = "device",
@@ -134,6 +153,7 @@ class Topology:
             self._adjacency[link.b].remove(link)
         except (KeyError, ValueError):
             raise ValueError(f"{link!r} is not part of this topology")
+        self._failed_links.discard(link)
         self._route_cache.clear()
 
     # -- fault injection ---------------------------------------------------
@@ -146,19 +166,45 @@ class Topology:
         self._route_cache.clear()
         self.scheduler.poke()
 
-    def restore_link(self, link: Link, spec: LinkSpec) -> None:
-        """Retrain a link back to a full-width spec."""
-        link.retrain(spec)
+    def restore_link(self, link: Link,
+                     spec: Optional[LinkSpec] = None) -> None:
+        """Bring a link back to health.
+
+        For a degraded link this retrains it (to ``spec``, or to the spec
+        it was built with).  For a hard-failed link (:meth:`fail_link`)
+        this *re-seats* it: the link rejoins the graph and routing through
+        it works again — the symmetric inverse of a cable pull.
+        """
+        if link in self._failed_links:
+            for endpoint in (link.a, link.b):
+                if endpoint not in self._nodes:
+                    raise ValueError(
+                        f"cannot re-seat {link.name}: node {endpoint!r} "
+                        "no longer exists")
+            self._adjacency[link.a].append(link)
+            self._adjacency[link.b].append(link)
+            self._failed_links.discard(link)
+            link.failed = False
+        link.retrain(spec or link.original_spec)
         self._route_cache.clear()
         self.scheduler.poke()
 
-    def fail_link(self, link: Link) -> int:
+    def fail_link(self, link: Link,
+                  cause: Optional[Exception] = None) -> int:
         """Hard-fail a link (cable pull): aborts in-flight transfers with
-        :class:`LinkFailure` and removes the link from the graph.
+        ``cause`` (default :class:`LinkFailure`) and detaches the link
+        from the graph; :meth:`restore_link` can re-seat it.
         Returns the number of transfers aborted."""
-        killed = self.scheduler.kill_flows_on(link, LinkFailure(link.name))
+        killed = self.scheduler.kill_flows_on(
+            link, cause or LinkFailure(link.name))
         self.remove_link(link)
+        link.failed = True
+        self._failed_links.add(link)
         return killed
+
+    def failed_links(self) -> list[Link]:
+        """Links that were hard-failed and not yet re-seated."""
+        return list(self._failed_links)
 
     def remove_node(self, name: str) -> None:
         """Remove a node and all its links."""
@@ -197,11 +243,16 @@ class Topology:
 
     # -- routing ----------------------------------------------------------
     def route(self, src: str, dst: str) -> Route:
-        """Lowest-latency path from ``src`` to ``dst`` (cached)."""
+        """Lowest-latency path from ``src`` to ``dst`` (cached).
+
+        Raises :class:`NoRouteError` both when no path exists (e.g. it
+        would cross a failed link) and when an endpoint is unknown (e.g.
+        the device dropped off the fabric entirely).
+        """
         if src not in self._nodes:
-            raise KeyError(f"unknown node {src!r}")
+            raise NoRouteError(f"unknown node {src!r}")
         if dst not in self._nodes:
-            raise KeyError(f"unknown node {dst!r}")
+            raise NoRouteError(f"unknown node {dst!r}")
         if src == dst:
             return Route((), 0.0)
         cached = self._route_cache.get((src, dst))
@@ -248,6 +299,14 @@ class Topology:
         latency = sum(s.link.spec.latency + s.link.spec.hop_penalty
                       for s in segments)
         return Route(tuple(segments), latency)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether any route currently exists between two nodes."""
+        try:
+            self.route(src, dst)
+        except NoRouteError:
+            return False
+        return True
 
     def path_latency(self, src: str, dst: str) -> float:
         """One-way fixed latency including transfer overhead, seconds."""

@@ -8,6 +8,7 @@ structured, exportable event log.
 
 from .bmc import BMC, LinkHealth, Sensor
 from .events import Event, EventLog
+from .inventory import Inventory, InventoryError
 from .mcs import ManagementCenterServer, PermissionError_, Role, UserAccount
 
 __all__ = [
@@ -20,4 +21,6 @@ __all__ = [
     "LinkHealth",
     "Event",
     "EventLog",
+    "Inventory",
+    "InventoryError",
 ]

@@ -1,0 +1,101 @@
+"""Device inventory: hot-plug spares for fault recovery.
+
+The Falcon chassis tracks *node names* in slots; recovery code needs the
+actual device objects (a :class:`~repro.devices.gpu.GPU` to rebuild a
+communicator around).  The :class:`Inventory` keeps that mapping and
+wraps the MCS attach/detach operations into the one move a fault-
+tolerant runtime cares about: *replace this dead GPU with a spare* —
+the composable-infrastructure recovery story the paper's hot-plug
+capability enables (a failed device is deallocated and a standby device
+from the same chassis is allocated in its place, no reboot).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..fabric.falcon import Falcon4016, FalconError
+from .mcs import ManagementCenterServer
+
+__all__ = ["Inventory", "InventoryError"]
+
+
+class InventoryError(Exception):
+    """No suitable spare, or the device is not inventory-managed."""
+
+
+class Inventory:
+    """Registry of chassis-installed devices and their spare pool."""
+
+    def __init__(self, mcs: ManagementCenterServer, falcon: Falcon4016,
+                 actor: str = "admin"):
+        self.mcs = mcs
+        self.falcon = falcon
+        #: MCS account used for recovery operations (audit trail).
+        self.actor = actor
+        self._devices: dict[str, object] = {}
+
+    # -- registry ---------------------------------------------------------
+    def register_gpu(self, gpu) -> None:
+        """Track a chassis-installed GPU (allocated or spare)."""
+        self._devices[gpu.name] = gpu
+
+    def gpu(self, name: str):
+        """The device object for a registered node name."""
+        device = self._devices.get(name)
+        if device is None:
+            raise InventoryError(f"{name!r} is not inventory-managed")
+        return device
+
+    def manages(self, name: str) -> bool:
+        return name in self._devices
+
+    def spare_gpus(self) -> list:
+        """Registered GPUs installed in the chassis but owned by no host."""
+        spares = []
+        for name, device in self._devices.items():
+            try:
+                owner = self.falcon.owner_of(name)
+            except FalconError:
+                continue  # removed from the chassis
+            if owner is None:
+                spares.append(device)
+        return spares
+
+    # -- hot-plug operations ----------------------------------------------
+    def attach(self, name: str, host_id: str) -> None:
+        """Allocate a registered device to a host (hot-add)."""
+        self.gpu(name)  # must be managed
+        self.mcs.attach(self.actor, name, host_id)
+
+    def detach(self, name: str) -> None:
+        """Release a registered device from its host (hot-remove)."""
+        self.gpu(name)
+        self.mcs.detach(self.actor, name)
+
+    def replace_gpu(self, failed_name: str, host_id: str):
+        """Swap a dead GPU for a spare; returns the replacement device.
+
+        Deallocates the failed device (it stays in its slot for physical
+        service) and hot-adds the first available spare to ``host_id``.
+        Raises :class:`InventoryError` when the failed device is not
+        chassis-managed (e.g. a host-internal GPU) or no spare exists.
+        """
+        if not self.manages(failed_name):
+            raise InventoryError(
+                f"{failed_name!r} is not chassis-managed; cannot hot-swap")
+        spares = self.spare_gpus()
+        if not spares:
+            raise InventoryError("no spare GPU available")
+        try:
+            if self.falcon.owner_of(failed_name) is not None:
+                self.detach(failed_name)
+        except FalconError as exc:
+            raise InventoryError(str(exc)) from exc
+        spare = spares[0]
+        self.attach(spare.name, host_id)
+        return spare
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Inventory {len(self._devices)} devices, "
+                f"{len(self.spare_gpus())} spare>")

@@ -305,6 +305,13 @@ class _Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # A sibling already decided this condition.  Late failures must
+            # still be defused, or the unhandled-failure check in
+            # Environment.step would crash the simulation — e.g. a link
+            # failure killing several in-flight transfers fails every
+            # transfer process feeding one AllOf at the same instant.
+            if not event._ok:
+                event.defused = True
             return
         if not event._ok:
             event.defused = True

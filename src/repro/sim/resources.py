@@ -163,9 +163,23 @@ class ContainerPut(Event):
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
         super().__init__(container.env)
+        self.container = container
         self.amount = amount
         container._put_queue.append(self)
         container._update()
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted put (e.g. the requester was interrupted).
+
+        A queued put left behind by a dead process would otherwise fire
+        whenever capacity frees up, silently leaking level.  No-op if the
+        put was already granted.
+        """
+        if not self.triggered:
+            try:
+                self.container._put_queue.remove(self)
+            except ValueError:  # pragma: no cover - already granted/removed
+                pass
 
 
 class ContainerGet(Event):
@@ -173,9 +187,18 @@ class ContainerGet(Event):
         if amount <= 0:
             raise ValueError(f"amount must be positive, got {amount}")
         super().__init__(container.env)
+        self.container = container
         self.amount = amount
         container._get_queue.append(self)
         container._update()
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted get.  No-op if already granted."""
+        if not self.triggered:
+            try:
+                self.container._get_queue.remove(self)
+            except ValueError:  # pragma: no cover - already granted/removed
+                pass
 
 
 class Container:

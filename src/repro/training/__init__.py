@@ -6,8 +6,13 @@ DL training, reproducing the interplay between model size, interconnect
 bandwidth, and software strategy that the paper characterizes.
 """
 
-from .collectives import CollectiveError, Communicator
-from .loop import TrainingConfig, TrainingJob, TrainingResult
+from .collectives import CollectiveError, CollectiveTimeout, Communicator
+from .loop import (
+    TrainingConfig,
+    TrainingInterrupted,
+    TrainingJob,
+    TrainingResult,
+)
 from .parallel import (
     DataParallel,
     DistributedDataParallel,
@@ -17,10 +22,17 @@ from .parallel import (
     activation_factor,
 )
 from .precision import AMP_POLICY, FP32_POLICY, PrecisionPolicy
+from .resilience import (
+    FaultTolerantResult,
+    FaultTolerantTrainingJob,
+    RecoveryAction,
+    ResilienceConfig,
+)
 
 __all__ = [
     "Communicator",
     "CollectiveError",
+    "CollectiveTimeout",
     "ParallelStrategy",
     "DataParallel",
     "DistributedDataParallel",
@@ -31,6 +43,11 @@ __all__ = [
     "AMP_POLICY",
     "FP32_POLICY",
     "TrainingConfig",
+    "TrainingInterrupted",
     "TrainingJob",
     "TrainingResult",
+    "ResilienceConfig",
+    "RecoveryAction",
+    "FaultTolerantTrainingJob",
+    "FaultTolerantResult",
 ]

@@ -29,7 +29,8 @@ from ..sim import Environment, Event
 from ..fabric.link import Protocol
 from ..fabric.topology import Route, Topology
 
-__all__ = ["Communicator", "CollectiveError", "TRANSPORT_PENALTY"]
+__all__ = ["Communicator", "CollectiveError", "CollectiveTimeout",
+           "TRANSPORT_PENALTY"]
 
 #: NCCL transport efficiency, expressed as byte inflation per protocol.
 #: NVLink rings run close to line rate; the PCIe transport stages chunks
@@ -52,7 +53,23 @@ class CollectiveError(Exception):
     """Mismatched or invalid collective usage."""
 
 
-@dataclass
+class CollectiveTimeout(Exception):
+    """A collective exceeded the communicator's watchdog timeout.
+
+    Mirrors NCCL's ``NCCL_TIMEOUT`` / PyTorch's ProcessGroup watchdog:
+    when one rank stalls (dead link, dropped GPU), the surviving ranks
+    must not hang forever inside the kernel — the watchdog aborts them
+    so the training runtime can run recovery.
+    """
+
+    def __init__(self, kind: str, waited: float):
+        super().__init__(
+            f"collective {kind!r} timed out after {waited:.3f}s")
+        self.kind = kind
+        self.waited = waited
+
+
+@dataclass(eq=False)  # identity semantics: ops are tracked in sets
 class _PendingOp:
     """One in-flight collective: rank arrival times and the done event."""
 
@@ -77,13 +94,16 @@ class Communicator:
 
     def __init__(self, env: Environment, topology: Topology,
                  ranks: list[str], gpus: Optional[list] = None,
-                 transport_penalty: Optional[dict] = None):
+                 transport_penalty: Optional[dict] = None,
+                 watchdog: Optional[float] = None):
         if len(ranks) < 1:
             raise CollectiveError("communicator needs at least one rank")
         if len(set(ranks)) != len(ranks):
             raise CollectiveError("duplicate ranks in communicator")
         if gpus is not None and len(gpus) != len(ranks):
             raise CollectiveError("gpus must align with ranks")
+        if watchdog is not None and watchdog <= 0:
+            raise CollectiveError("watchdog timeout must be positive")
         self.env = env
         self.topology = topology
         self.ranks = list(ranks)
@@ -93,8 +113,13 @@ class Communicator:
         self.transport_penalty = dict(TRANSPORT_PENALTY
                                       if transport_penalty is None
                                       else transport_penalty)
+        #: Watchdog timeout, seconds of sim time a rank may wait inside a
+        #: collective before :class:`CollectiveTimeout` is raised at it.
+        self.watchdog = watchdog
         self._op_seq = [0] * len(ranks)
         self._pending: dict[int, _PendingOp] = {}
+        self._executing: set[_PendingOp] = set()
+        self._closed = False
         #: Completed collective count (introspection).
         self.completed_ops = 0
 
@@ -136,6 +161,12 @@ class Communicator:
             raise CollectiveError("nbytes must be >= 0")
         if root is not None and not 0 <= root < self.world_size:
             raise CollectiveError(f"root {root} out of range")
+        if self._closed:
+            # Aborted communicator: resolve immediately so straggler ranks
+            # unwind instead of waiting on a collective that will never run.
+            done = self.env.event()
+            done.succeed(None)
+            return done
         opid = self._op_seq[rank]
         self._op_seq[rank] += 1
         op = self._pending.get(opid)
@@ -158,29 +189,95 @@ class Communicator:
         if len(op.arrived) == self.world_size:
             del self._pending[opid]
             self.env.process(self._execute(op))
-        return op.done
+        if self.watchdog is None:
+            return op.done
+        return self.env.process(self._guarded(op))
+
+    def _guarded(self, op: _PendingOp):
+        """Watchdog wrapper: wait on the op, bounded by the timeout.
+
+        Mirrors the NCCL/ProcessGroup watchdog thread — a rank stuck
+        inside a collective longer than the timeout gets a
+        :class:`CollectiveTimeout` raised at its ``yield`` instead of
+        hanging forever on a dead peer.
+        """
+        timeout = self.env.timeout(self.watchdog)
+        try:
+            yield self.env.any_of([op.done, timeout])
+        except Exception:
+            if self._closed:
+                return None
+            raise
+        if self._closed:
+            return None
+        if op.done.triggered:
+            return op.done.value
+        raise CollectiveTimeout(op.kind, self.watchdog)
 
     def _execute(self, op: _PendingOp):
-        if self.world_size == 1 or op.kind == "barrier" or op.nbytes == 0:
-            yield self.env.timeout(0.0)
-        elif op.kind == "allreduce":
-            yield from self._ring_phases(op.nbytes, 2 * (self.world_size - 1))
-        elif op.kind == "reduce_scatter":
-            yield from self._ring_phases(op.nbytes, self.world_size - 1)
-        elif op.kind == "allgather":
-            yield from self._ring_phases(op.nbytes, self.world_size - 1)
-        elif op.kind == "broadcast":
-            yield from self._star(op.root, op.nbytes, outbound=True)
-        elif op.kind == "reduce":
-            yield from self._star(op.root, op.nbytes, outbound=False)
-        else:  # pragma: no cover - guarded by _join
-            raise CollectiveError(f"unknown collective {op.kind!r}")
+        self._executing.add(op)
+        try:
+            if self.world_size == 1 or op.kind == "barrier" or op.nbytes == 0:
+                yield self.env.timeout(0.0)
+            elif op.kind == "allreduce":
+                yield from self._ring_phases(op.nbytes,
+                                             2 * (self.world_size - 1))
+            elif op.kind == "reduce_scatter":
+                yield from self._ring_phases(op.nbytes, self.world_size - 1)
+            elif op.kind == "allgather":
+                yield from self._ring_phases(op.nbytes, self.world_size - 1)
+            elif op.kind == "broadcast":
+                yield from self._star(op.root, op.nbytes, outbound=True)
+            elif op.kind == "reduce":
+                yield from self._star(op.root, op.nbytes, outbound=False)
+            else:  # pragma: no cover - guarded by _join
+                raise CollectiveError(f"unknown collective {op.kind!r}")
+        except Exception as exc:
+            # A transfer died under us (link pulled, GPU dropped).  Every
+            # rank waits on the same done event, so failing it broadcasts
+            # the fault to the whole communicator — like an NCCL kernel
+            # erroring out on all ranks at once.  Pre-defuse: if every
+            # rank was already torn down nobody retrieves the failure,
+            # and an undefused failure would crash the simulation.
+            self._executing.discard(op)
+            if self._closed or op.done.triggered:
+                return
+            op.done.defused = True
+            op.done.fail(exc)
+            return
+        self._executing.discard(op)
+        if op.done.triggered:  # abort() resolved it while we were running
+            return
         if self.gpus is not None and op.kind in _KERNEL_COLLECTIVES:
             now = self.env.now
             for rank, arrival in op.arrived.items():
                 self.gpus[rank].busy.add(now, now - arrival)
         self.completed_ops += 1
         op.done.succeed()
+
+    def abort(self) -> None:
+        """Tear the communicator down (``ncclCommAbort``).
+
+        Resolves every pending and in-flight collective with ``None`` so
+        no process is left waiting on an event that will never fire, and
+        silences the watchdog.  Used by the training runtime before
+        rebuilding collectives during fault recovery.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for op in self._pending.values():
+            if not op.done.triggered:
+                op.done.succeed(None)
+        self._pending.clear()
+        for op in list(self._executing):
+            if not op.done.triggered:
+                op.done.succeed(None)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`abort` has been called."""
+        return self._closed
 
     # -- schedules ------------------------------------------------------------
     def _transport_factor(self, route: Route) -> float:

@@ -32,11 +32,16 @@ import numpy as np
 from ..devices.gpu import GPU
 from ..devices.host import HostServer
 from ..devices.storage import StorageDevice
-from ..fabric.topology import Topology
-from ..sim import Environment, Store
+from ..fabric.topology import (
+    DeviceFailure,
+    LinkFailure,
+    NoRouteError,
+    Topology,
+)
+from ..sim import Environment, Interrupt, Store
 from ..telemetry import MetricsCollector
 from ..workloads.registry import Benchmark
-from .collectives import Communicator
+from .collectives import CollectiveTimeout, Communicator
 from .parallel import (
     DistributedDataParallel,
     ParallelStrategy,
@@ -44,12 +49,34 @@ from .parallel import (
 )
 from .precision import AMP_POLICY, PrecisionPolicy
 
-__all__ = ["TrainingConfig", "TrainingJob", "TrainingResult"]
+__all__ = ["TrainingConfig", "TrainingInterrupted", "TrainingJob",
+           "TrainingResult"]
 
 #: Host-side framework footprint (CUDA pinned buffers, Python runtime...).
 HOST_FRAMEWORK_BYTES = 12e9
 #: Warmup steps excluded from step-time statistics.
 WARMUP_STEPS = 2
+
+
+class TrainingInterrupted(Exception):
+    """A fault tore the job down before it completed its steps.
+
+    Raised out of the job's completion event after an orderly teardown
+    (workers interrupted, collectives aborted, memory reconciled).  The
+    attributes carry everything a checkpoint-restart runtime needs to
+    resume: how far training got, and the last step whose checkpoint hit
+    storage (``None`` if no checkpoint completed).
+    """
+
+    def __init__(self, cause: BaseException, steps_completed: int,
+                 last_checkpoint_step: Optional[int], at: float):
+        super().__init__(
+            f"training interrupted after {steps_completed} steps: {cause}")
+        self.cause = cause
+        self.steps_completed = steps_completed
+        self.last_checkpoint_step = last_checkpoint_step
+        #: Simulation time at which the fault was detected.
+        self.at = at
 
 
 @dataclass
@@ -92,6 +119,14 @@ class TrainingConfig:
     kernel_jitter: float = 0.0
     #: Seed for the jitter RNG (runs are reproducible at fixed seed).
     jitter_seed: int = 0x5EED
+    #: Checkpoint every N optimizer steps instead of ``sim_checkpoints``
+    #: evenly-spaced ones — the knob a fault-tolerance study sweeps to
+    #: trade checkpoint overhead against lost work (Young/Daly).
+    checkpoint_interval_steps: Optional[int] = None
+    #: NCCL-watchdog timeout for collectives, seconds of simulated time;
+    #: ``None`` disables the watchdog (a rank stuck on a dead peer hangs,
+    #: as NCCL does without a timeout configured).
+    collective_timeout: Optional[float] = None
 
     def resolved_global_batch(self) -> int:
         return self.global_batch or self.benchmark.global_batch
@@ -205,7 +240,8 @@ class TrainingJob:
             // config.accumulation_steps
         self.comm = Communicator(env, topology, [g.name for g in gpus],
                                  gpus=gpus,
-                                 transport_penalty=config.transport_penalty)
+                                 transport_penalty=config.transport_penalty,
+                                 watchdog=config.collective_timeout)
         self.costs = StepCosts.for_benchmark(
             self.model, config.policy,
             self._batch_adjusted_efficiency(),
@@ -245,6 +281,16 @@ class TrainingJob:
         self._ckpt_times: list[float] = []
         self._ckpt_spans: list[tuple[float, float]] = []
         self._dataset_cached = self._resolve_cached()
+        # Fault handling: the first fault any worker observes succeeds
+        # this event (value = the exception); _main then tears down.
+        self._failure = env.event()
+        self._step_listeners: list = []
+        self._ckpt_listeners: list = []
+        self._steps_completed = 0
+        self._last_checkpoint_step: Optional[int] = None
+        # Host bytes the dataloader allocated that feeders have not yet
+        # freed; reconciled at teardown so a killed job leaks nothing.
+        self._transient_host_bytes = 0.0
 
     # -- derived quantities ----------------------------------------------------
     def _batch_adjusted_efficiency(self) -> float:
@@ -283,6 +329,35 @@ class TrainingJob:
         dataset_bytes = self.benchmark.dataset.epoch_disk_bytes() \
             * self.benchmark.disk_read_factor
         return dataset_bytes / self.effective_read_bandwidth()
+
+    # -- public progress API ---------------------------------------------------
+    @property
+    def step_times(self) -> list[float]:
+        """Per-step wall times measured so far (rank 0's view)."""
+        return list(self._step_times)
+
+    @property
+    def steps_completed(self) -> int:
+        """Optimizer steps completed so far (rank 0's view)."""
+        return self._steps_completed
+
+    @property
+    def last_checkpoint_step(self) -> Optional[int]:
+        """Step index of the last checkpoint that hit storage, or None."""
+        return self._last_checkpoint_step
+
+    def add_step_listener(self, fn) -> None:
+        """Call ``fn(steps_completed, time)`` after each optimizer step.
+
+        The public alternative to polling private step counters: chaos
+        injectors and experiments use this to trigger a fault at a
+        precise training-progress point without busy-waiting.
+        """
+        self._step_listeners.append(fn)
+
+    def add_checkpoint_listener(self, fn) -> None:
+        """Call ``fn(step, time)`` once a checkpoint is durable."""
+        self._ckpt_listeners.append(fn)
 
     # -- run ---------------------------------------------------------------------
     def start(self):
@@ -342,6 +417,15 @@ class TrainingJob:
         )
 
     # -- processes ------------------------------------------------------------------
+    #: Fabric/collective faults a worker converts into a job failure (as
+    #: opposed to programming errors, which propagate and crash the run).
+    _FAULTS = (LinkFailure, DeviceFailure, NoRouteError, CollectiveTimeout)
+
+    def _report_failure(self, exc: BaseException) -> None:
+        """First fault wins; _main picks it up and tears the job down."""
+        if not self._failure.triggered:
+            self._failure.succeed(exc)
+
     def _main(self):
         cfg = self.config
         # Resident allocations: device memory per GPU, host framework +
@@ -365,7 +449,21 @@ class TrainingJob:
                    for rank in range(self.world_size)]
         trainers = [self.env.process(self._trainer(rank, cfg.sim_steps))
                     for rank in range(self.world_size)]
-        yield self.env.all_of([loader] + feeders + trainers)
+        workers = [loader] + feeders + trainers
+        yield self.env.any_of([self.env.all_of(workers), self._failure])
+
+        fault = self._failure.value if self._failure.triggered else None
+        if fault is not None:
+            # Orderly teardown: stop every surviving worker, abort the
+            # communicator so nothing waits on a collective that will
+            # never complete, then let the interrupts unwind (they are
+            # URGENT events; a zero-delay NORMAL timeout runs after all
+            # of them) before reconciling memory.
+            for proc in workers:
+                if proc.is_alive:
+                    proc.interrupt(fault)
+            self.comm.abort()
+            yield self.env.timeout(0.0)
 
         self._t_end = self.env.now
         self.collector.stop()
@@ -374,6 +472,14 @@ class TrainingJob:
             yield gpu.free(self._gpu_resident_bytes)
         if host_resident > 0:
             yield self.host.free_memory(host_resident)
+        if self._transient_host_bytes > 0:
+            # Staging buffers whose feeder died before freeing them.
+            yield self.host.free_memory(self._transient_host_bytes)
+            self._transient_host_bytes = 0.0
+        if fault is not None:
+            raise TrainingInterrupted(fault, self._steps_completed,
+                                      self._last_checkpoint_step,
+                                      self.env.now)
 
     def _dataloader(self, steps: int):
         """Read + preprocess global batches; feed per-rank queues."""
@@ -382,15 +488,27 @@ class TrainingJob:
             * self.benchmark.disk_read_factor
         h2d_bytes = ds.h2d_bytes_per_sample * self.global_batch
         cpu_seconds = ds.preprocess_core_seconds * self.global_batch
-        for step in range(steps):
-            if not self._dataset_cached:
-                yield self.storage.read_to(self.host.dram_node, disk_bytes)
-            yield self.host.alloc_memory(h2d_bytes)
-            if cpu_seconds > 0:
-                yield self.host.cpu.run(cpu_seconds,
-                                        self.config.dataloader_workers)
-            puts = [q.put(step) for q in self._queues]
-            yield self.env.all_of(puts)
+        try:
+            for step in range(steps):
+                if not self._dataset_cached:
+                    yield self.storage.read_to(self.host.dram_node,
+                                               disk_bytes)
+                alloc = self.host.alloc_memory(h2d_bytes)
+                try:
+                    yield alloc
+                except Interrupt:
+                    alloc.cancel()  # withdraw the queued allocation
+                    return
+                self._transient_host_bytes += h2d_bytes
+                if cpu_seconds > 0:
+                    yield self.host.cpu.run(cpu_seconds,
+                                            self.config.dataloader_workers)
+                puts = [q.put(step) for q in self._queues]
+                yield self.env.all_of(puts)
+        except self._FAULTS as exc:
+            self._report_failure(exc)
+        except Interrupt:
+            return
 
     def _feeder(self, rank: int, steps: int):
         """Pinned-memory prefetch: copy the next micro-batch to the device
@@ -398,28 +516,57 @@ class TrainingJob:
         gpu = self.gpus[rank]
         h2d_rank = self.benchmark.dataset.h2d_bytes_per_sample \
             * self.batch_per_gpu
-        for _ in range(steps):
-            item = yield self._queues[rank].get()
-            yield self.topology.transfer(self.host.dram_node, gpu.name,
-                                         h2d_rank, label="h2d")
-            yield self.host.free_memory(h2d_rank)
-            yield self._device_queues[rank].put(item)
+        try:
+            for _ in range(steps):
+                item = yield self._queues[rank].get()
+                yield self.topology.transfer(self.host.dram_node, gpu.name,
+                                             h2d_rank, label="h2d")
+                free = self.host.free_memory(h2d_rank)
+                try:
+                    yield free
+                except Interrupt:
+                    free.cancel()  # teardown reconciles these bytes
+                    return
+                self._transient_host_bytes -= h2d_rank
+                yield self._device_queues[rank].put(item)
+        except self._FAULTS as exc:
+            self._report_failure(exc)
+        except Interrupt:
+            return
 
     def _trainer(self, rank: int, steps: int):
         """One rank: await the prefetched batch, run the strategy step,
         take periodic checkpoints."""
         cfg = self.config
-        ckpt_steps = self._checkpoint_steps(steps, cfg.sim_checkpoints)
-        for step in range(steps):
-            step_t0 = self.env.now
-            yield self._device_queues[rank].get()
-            yield from cfg.strategy.run_step(
-                self.env, self.comm, self.gpus, rank, self.costs,
-                accumulation=cfg.accumulation_steps)
-            if rank == 0:
-                self._step_times.append(self.env.now - step_t0)
-            if step in ckpt_steps:
-                yield from self._checkpoint(rank)
+        ckpt_steps = self._resolve_checkpoint_steps(steps)
+        try:
+            for step in range(steps):
+                step_t0 = self.env.now
+                yield self._device_queues[rank].get()
+                yield from cfg.strategy.run_step(
+                    self.env, self.comm, self.gpus, rank, self.costs,
+                    accumulation=cfg.accumulation_steps)
+                if rank == 0:
+                    self._step_times.append(self.env.now - step_t0)
+                    self._steps_completed = step + 1
+                    for fn in list(self._step_listeners):
+                        fn(self._steps_completed, self.env.now)
+                if step in ckpt_steps:
+                    yield from self._checkpoint(rank, step)
+        except self._FAULTS as exc:
+            self._report_failure(exc)
+        except Interrupt:
+            return
+
+    def _resolve_checkpoint_steps(self, steps: int) -> frozenset[int]:
+        """Checkpoint positions: fixed cadence if configured, else the
+        ``sim_checkpoints`` evenly-spaced ones."""
+        interval = self.config.checkpoint_interval_steps
+        if interval is not None:
+            if interval <= 0:
+                return frozenset()
+            return frozenset(range(interval - 1, steps, interval))
+        return self._checkpoint_steps(steps, self.config.sim_checkpoints)
 
     @staticmethod
     def _checkpoint_steps(steps: int, count: int) -> frozenset[int]:
@@ -430,8 +577,13 @@ class TrainingJob:
         positions = [(i + 1) * every - 1 for i in range(count)]
         return frozenset(p for p in positions if p < steps)
 
-    def _checkpoint(self, rank: int):
-        """All ranks synchronize; rank 0 streams state to storage."""
+    def _checkpoint(self, rank: int, step: int):
+        """All ranks synchronize; rank 0 streams state to storage.
+
+        The checkpoint is *durable* — and only then counts for restart —
+        once the storage write returns; a fault mid-write rolls back to
+        the previous checkpoint.
+        """
         yield self.comm.barrier(rank)
         if rank == 0:
             t0 = self.env.now
@@ -442,4 +594,7 @@ class TrainingJob:
             yield self.storage.write_from(self.host.dram_node, nbytes)
             self._ckpt_times.append(self.env.now - t0)
             self._ckpt_spans.append((t0, self.env.now))
+            self._last_checkpoint_step = step
+            for fn in list(self._ckpt_listeners):
+                fn(step, self.env.now)
         yield self.comm.barrier(rank)

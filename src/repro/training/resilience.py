@@ -1,0 +1,331 @@
+"""Fault-tolerant training: checkpoint-restart, backoff, elastic recovery.
+
+:class:`FaultTolerantTrainingJob` wraps :class:`~repro.training.loop.
+TrainingJob` in the recovery state machine a production trainer runs:
+
+1. **Detect** — the job's workers convert fabric faults (link pulled,
+   GPU dropped, collective watchdog) into :class:`TrainingInterrupted`.
+2. **Reattach with backoff** — transient degradations (a flapping host
+   port, a link mid-retrain) heal on their own; the runtime polls device
+   reachability with exponential backoff before touching the ring.
+3. **Repair the ring** — devices still dead after the backoff budget are
+   either *hot-swapped* for a chassis spare through the management plane
+   (:class:`~repro.management.inventory.Inventory` — the composable
+   system's unique recovery lever) or, failing that, *dropped* from the
+   ring, which shrinks to N-1 at constant per-GPU batch.
+4. **Restart from checkpoint** — a fresh attempt resumes from the last
+   durable checkpoint and replays the lost steps.
+
+Every transition is recorded both in the local recovery log and, when a
+management :class:`~repro.management.events.EventLog` is wired in, as
+audit events — recovery is an *operator-visible* activity, not a silent
+retry loop.
+
+Accounting follows the fault-tolerance literature: **goodput** is
+first-time-useful samples over total wall time (recovery stalls, replays
+and checkpoint overhead all tax it), versus the fault-free **raw
+throughput**; **MTTR** is detection-to-restart time averaged over
+faults.  Sweeping ``checkpoint_interval_steps`` against a given fault
+rate traces the Young/Daly optimal-interval trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..devices.gpu import GPU
+from ..devices.host import HostServer
+from ..devices.storage import StorageDevice
+from ..fabric.topology import Topology
+from ..management.events import EventLog
+from ..management.inventory import Inventory, InventoryError
+from ..sim import Environment
+from ..telemetry import MetricsCollector
+from .loop import (
+    TrainingConfig,
+    TrainingInterrupted,
+    TrainingJob,
+    TrainingResult,
+)
+
+__all__ = ["ResilienceConfig", "RecoveryAction", "FaultTolerantResult",
+           "FaultTolerantTrainingJob"]
+
+
+@dataclass
+class ResilienceConfig:
+    """Recovery policy knobs."""
+
+    #: Restart attempts after the first (attempt count = max_restarts + 1).
+    max_restarts: int = 4
+    #: Reachability polls per fault before declaring devices dead.
+    reattach_attempts: int = 3
+    #: First backoff sleep, seconds; doubles (``backoff_factor``) per poll.
+    backoff_initial: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    #: Replace dead chassis GPUs with spares via the management plane.
+    allow_hot_spare: bool = True
+    #: Drop dead GPUs from the ring (N-1) when no spare can stand in.
+    allow_shrink: bool = True
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One recovery-state-machine transition, timestamped."""
+
+    time: float
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass
+class FaultTolerantResult:
+    """Outcome + resilience telemetry of a fault-tolerant run."""
+
+    completed: bool
+    attempts: int
+    faults: int
+    total_steps: int
+    #: Steps computed but rolled back (work after the last checkpoint).
+    lost_steps: int
+    #: First-time-useful samples trained (replays not double-counted).
+    samples: float
+    wall_time: float
+    #: Mean detection-to-restart time over faults, seconds.
+    mttr: float
+    #: samples / wall_time — what the cluster actually delivered.
+    goodput: float
+    #: Fault-free samples/s of the final ring (None until one attempt
+    #: finishes cleanly).
+    raw_throughput: Optional[float]
+    final_world_size: int
+    recovery_log: list[RecoveryAction] = field(default_factory=list)
+    result: Optional[TrainingResult] = None
+
+    @property
+    def goodput_fraction(self) -> Optional[float]:
+        """Goodput as a fraction of fault-free throughput."""
+        if not self.raw_throughput:
+            return None
+        return self.goodput / self.raw_throughput
+
+    def summary(self) -> dict:
+        return {
+            "completed": self.completed,
+            "attempts": self.attempts,
+            "faults": self.faults,
+            "lost_steps": self.lost_steps,
+            "wall_time_s": self.wall_time,
+            "mttr_s": self.mttr,
+            "goodput_samples_s": self.goodput,
+            "raw_throughput_samples_s": self.raw_throughput,
+            "final_world_size": self.final_world_size,
+            "recovery_actions": [a.kind for a in self.recovery_log],
+        }
+
+
+class FaultTolerantTrainingJob:
+    """Checkpoint-restart training with elastic ring repair."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 host: HostServer, gpus: list[GPU],
+                 storage: StorageDevice, config: TrainingConfig,
+                 resilience: Optional[ResilienceConfig] = None,
+                 inventory: Optional[Inventory] = None,
+                 event_log: Optional[EventLog] = None):
+        if not gpus:
+            raise ValueError("training needs at least one GPU")
+        self.env = env
+        self.topology = topology
+        self.host = host
+        self.gpus = list(gpus)
+        self.storage = storage
+        self.config = config
+        self.resilience = resilience or ResilienceConfig()
+        self.inventory = inventory
+        self.event_log = event_log
+        self.recovery_log: list[RecoveryAction] = []
+        #: The job currently (or last) running — chaos hooks attach here.
+        self.current_job: Optional[TrainingJob] = None
+        #: Called with each freshly-built attempt's TrainingJob before it
+        #: starts (lets experiments re-arm step-hook fault triggers).
+        self.on_attempt: list = []
+        world = len(gpus)
+        global_batch = config.resolved_global_batch()
+        if global_batch % world != 0:
+            raise ValueError(
+                f"global batch {global_batch} not divisible by world "
+                f"size {world}")
+        #: Held constant across ring shrinks (global batch scales).
+        self.batch_per_gpu = global_batch // world
+
+    # -- bookkeeping ------------------------------------------------------
+    def _record(self, kind: str, **detail) -> None:
+        self.recovery_log.append(
+            RecoveryAction(self.env.now, kind, dict(detail)))
+        if self.event_log is not None:
+            self.event_log.record(self.env.now, kind, "ft-runtime",
+                                  **detail)
+
+    def _sleep(self, seconds: float) -> None:
+        self.env.run(until=self.env.timeout(seconds))
+
+    def _reachable(self, gpu: GPU) -> bool:
+        return self.topology.reachable(self.host.dram_node, gpu.name)
+
+    # -- main loop --------------------------------------------------------
+    def run(self) -> FaultTolerantResult:
+        """Train to completion (or exhaustion of the restart budget)."""
+        res = self.resilience
+        total = self.config.sim_steps
+        done_steps = 0
+        samples = 0.0
+        lost_steps = 0
+        faults = 0
+        attempts = 0
+        mttr: list[float] = []
+        result: Optional[TrainingResult] = None
+        completed = False
+        wall_t0 = self.env.now
+
+        while done_steps < total:
+            if attempts > res.max_restarts:
+                self._record("recovery_gave_up",
+                             attempts=attempts,
+                             steps_done=done_steps, steps_total=total)
+                break
+            attempts += 1
+            remaining = total - done_steps
+            world = len(self.gpus)
+            cfg = replace(self.config, sim_steps=remaining,
+                          global_batch=self.batch_per_gpu * world)
+            job = TrainingJob(self.env, self.topology, self.host,
+                              list(self.gpus), self.storage, cfg,
+                              collector=MetricsCollector(
+                                  self.env, cfg.sample_interval))
+            self.current_job = job
+            for hook in list(self.on_attempt):
+                hook(job, attempts)
+            try:
+                self.env.run(until=job.start())
+            except TrainingInterrupted as exc:
+                faults += 1
+                detected_at = exc.at
+                durable = 0 if exc.last_checkpoint_step is None \
+                    else exc.last_checkpoint_step + 1
+                rolled_back = exc.steps_completed - durable
+                done_steps += durable
+                samples += durable * cfg.resolved_global_batch()
+                lost_steps += rolled_back
+                self._record("fault_detected",
+                             cause=type(exc.cause).__name__,
+                             message=str(exc.cause),
+                             steps_completed=exc.steps_completed,
+                             durable_steps=durable)
+                if rolled_back:
+                    self._record("checkpoint_rollback",
+                                 rolled_back_steps=rolled_back,
+                                 resume_step=done_steps)
+                if not self._recover():
+                    mttr.append(self.env.now - detected_at)
+                    break
+                mttr.append(self.env.now - detected_at)
+                self._record("job_restarted", attempt=attempts + 1,
+                             resume_step=done_steps,
+                             world_size=len(self.gpus))
+                continue
+            result = job.collect()
+            done_steps += remaining
+            samples += remaining * cfg.resolved_global_batch()
+            completed = True
+
+        wall = self.env.now - wall_t0
+        return FaultTolerantResult(
+            completed=completed,
+            attempts=attempts,
+            faults=faults,
+            total_steps=total,
+            lost_steps=lost_steps,
+            samples=samples,
+            wall_time=wall,
+            mttr=float(np.mean(mttr)) if mttr else 0.0,
+            goodput=samples / wall if wall > 0 else 0.0,
+            raw_throughput=result.throughput if result is not None else None,
+            final_world_size=len(self.gpus),
+            recovery_log=list(self.recovery_log),
+            result=result,
+        )
+
+    # -- recovery ---------------------------------------------------------
+    def _recover(self) -> bool:
+        """Repair the ring; returns False when out of options.
+
+        Transient-first: reachability is re-polled under exponential
+        backoff (a flapping port or mid-retrain link heals without any
+        topology surgery, and checkpoint-restart alone suffices).  Only
+        devices still dead afterwards get hot-swapped or dropped.
+        """
+        res = self.resilience
+        backoff = res.backoff_initial
+        for attempt in range(res.reattach_attempts):
+            dead = [g for g in self.gpus if not self._reachable(g)]
+            if not dead:
+                return True
+            self._record("recovery_backoff",
+                         wait_s=backoff, poll=attempt + 1,
+                         unreachable=[g.name for g in dead])
+            self._sleep(backoff)
+            backoff = min(backoff * res.backoff_factor, res.backoff_max)
+
+        dead = [g for g in self.gpus if not self._reachable(g)]
+        if not dead:
+            return True
+
+        dead_set = {g.name for g in dead}
+        survivors: list[GPU] = []
+        for gpu in self.gpus:  # preserve ring positions where possible
+            if gpu.name not in dead_set:
+                survivors.append(gpu)
+                continue
+            replacement = self._hot_swap(gpu) if res.allow_hot_spare \
+                else None
+            if replacement is not None:
+                survivors.append(replacement)
+                continue
+            if not res.allow_shrink:
+                self._record("recovery_gave_up", device=gpu.name,
+                             reason="no spare and shrink disabled")
+                return False
+            self._record("ring_shrunk", removed=gpu.name,
+                         world_size=len(self.gpus) - 1)
+        if not survivors:
+            self._record("recovery_gave_up", reason="no GPUs left")
+            return False
+        self.gpus = survivors
+        return True
+
+    def _hot_swap(self, gpu: GPU) -> Optional[GPU]:
+        """Swap a dead chassis GPU for a spare; None when impossible."""
+        if self.inventory is None:
+            return None
+        try:
+            spare = self.inventory.replace_gpu(gpu.name, self.host.name)
+        except InventoryError as exc:
+            self._record("hotplug_unavailable", device=gpu.name,
+                         reason=str(exc))
+            return None
+        if not self._reachable(spare):
+            self._record("hotplug_unavailable", device=spare.name,
+                         reason="spare unreachable")
+            return None
+        self._record("gpu_hotplug", failed=gpu.name,
+                     replacement=spare.name)
+        return spare
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<FaultTolerantTrainingJob world={len(self.gpus)} "
+                f"steps={self.config.sim_steps}>")

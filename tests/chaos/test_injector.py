@@ -1,0 +1,150 @@
+"""FaultInjector: target resolution, fabric effects, deterministic replay."""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultInjector, FaultScenario, InjectionError
+from repro.core import ComposableSystem
+
+
+def make_injector(system):
+    return FaultInjector(system.env, system.topology,
+                         falcon=system.falcon,
+                         event_log=system.mcs.log,
+                         bmc=system.mcs.bmcs[system.falcon.name])
+
+
+@pytest.fixture()
+def system():
+    return ComposableSystem()
+
+
+class TestTargetResolution:
+    def test_port_target_resolves_to_cable(self, system):
+        inj = make_injector(system)
+        inj.apply(FaultEvent(0.0, "pull_cable", "port:H1"))
+        # Drawer-0 GPUs lost their uplink; drawer-1 GPUs kept theirs.
+        assert not system.topology.reachable(system.host.dram_node,
+                                             "falcon0/gpu0")
+        assert system.topology.reachable(system.host.dram_node,
+                                         "falcon0/gpu4")
+
+    def test_unknown_port_rejected(self, system):
+        inj = make_injector(system)
+        with pytest.raises(InjectionError):
+            inj.apply(FaultEvent(0.0, "pull_cable", "port:H9"))
+
+    def test_port_target_needs_falcon(self, system):
+        inj = FaultInjector(system.env, system.topology)
+        with pytest.raises(InjectionError):
+            inj.apply(FaultEvent(0.0, "pull_cable", "port:H1"))
+
+    def test_unknown_node_rejected(self, system):
+        inj = make_injector(system)
+        with pytest.raises(InjectionError):
+            inj.apply(FaultEvent(0.0, "gpu_drop", "node:falcon0/gpu99"))
+
+    def test_unknown_target_kind_rejected(self, system):
+        inj = make_injector(system)
+        with pytest.raises(InjectionError):
+            inj.apply(FaultEvent(0.0, "pull_cable", "rack:R1"))
+
+
+class TestFabricEffects:
+    def test_pull_and_reseat_cycle(self, system):
+        inj = make_injector(system)
+        inj.apply(FaultEvent(0.0, "pull_cable", "port:H1"))
+        assert system.topology.failed_links()
+        inj.apply(FaultEvent(0.0, "reseat_cable", "port:H1"))
+        assert not system.topology.failed_links()
+        assert system.topology.reachable(system.host.dram_node,
+                                         "falcon0/gpu0")
+
+    def test_degrade_then_restore(self, system):
+        inj = make_injector(system)
+        inj.apply(FaultEvent(0.0, "degrade_link", "port:H1",
+                             {"lanes": 4}))
+        link = inj._port_link("H1")
+        assert link.spec.bandwidth < link.original_spec.bandwidth
+        inj.apply(FaultEvent(0.0, "restore_link", "port:H1"))
+        assert link.spec.bandwidth == link.original_spec.bandwidth
+
+    def test_gpu_drop_isolates_device(self, system):
+        inj = make_injector(system)
+        inj.apply(FaultEvent(0.0, "gpu_drop", "node:falcon0/gpu2"))
+        assert not system.topology.reachable(system.host.dram_node,
+                                             "falcon0/gpu2")
+        # Neighbours on the same drawer stay reachable.
+        assert system.topology.reachable(system.host.dram_node,
+                                         "falcon0/gpu3")
+
+    def test_port_flap_self_heals(self, system):
+        inj = make_injector(system)
+        inj.start(FaultScenario("flap", [
+            FaultEvent(1.0, "port_flap", "port:H2", {"down": 0.5})]))
+        system.env.run(until=system.env.timeout(2.0))
+        assert system.topology.reachable(system.host.dram_node,
+                                         "falcon0/gpu4")
+        actions = [t[1] for t in inj.trace]
+        assert actions == ["port_flap", "restore_link"]
+
+    def test_double_pull_is_idempotent(self, system):
+        inj = make_injector(system)
+        inj.apply(FaultEvent(0.0, "pull_cable", "port:H1"))
+        inj.apply(FaultEvent(0.0, "pull_cable", "port:H1"))
+        inj.apply(FaultEvent(0.0, "degrade_link", "port:H1",
+                             {"lanes": 4}))  # can't retrain a pulled cable
+        inj.apply(FaultEvent(0.0, "reseat_cable", "port:H1"))
+        assert system.topology.reachable(system.host.dram_node,
+                                         "falcon0/gpu0")
+
+    def test_repeat_gpu_drop_after_isolation(self, system):
+        inj = make_injector(system)
+        inj.apply(FaultEvent(0.0, "gpu_drop", "node:falcon0/gpu2"))
+        inj.apply(FaultEvent(0.0, "gpu_drop", "node:falcon0/gpu2"))
+        assert len(inj.trace) == 2
+
+    def test_bmc_sees_injected_faults(self, system):
+        inj = make_injector(system)
+        bmc = system.mcs.bmcs["falcon0"]
+        inj.apply(FaultEvent(0.0, "degrade_link", "port:H1",
+                             {"lanes": 4}))
+        inj.apply(FaultEvent(0.0, "pull_cable", "port:H2"))
+        h1 = inj._port_link("H1").name
+        h2 = inj._port_link("H2").name
+        assert bmc.links[h1].correctable_errors == 1
+        assert bmc.links[h2].uncorrectable_errors == 1
+
+    def test_faults_land_in_event_log(self, system):
+        inj = make_injector(system)
+        inj.apply(FaultEvent(0.0, "pull_cable", "port:H1"))
+        records = system.mcs.log.query(kind="fault_injected")
+        assert len(records) == 1
+        assert records[0].actor == "chaos"
+        assert records[0].details["target"] == "port:H1"
+
+
+class TestDeterministicReplay:
+    def test_same_seed_identical_trace(self):
+        scenario = FaultScenario.random(
+            1234, 5.0, ["port:H1", "port:H2", "node:falcon0/gpu5"],
+            count=4)
+        traces = []
+        for _ in range(2):
+            system = ComposableSystem()
+            inj = make_injector(system)
+            inj.start(scenario)
+            system.env.run(until=system.env.timeout(10.0))
+            traces.append(list(inj.trace))
+        assert traces[0] == traces[1]
+        assert len(traces[0]) >= 4
+
+    def test_trace_order_matches_schedule(self, system):
+        scenario = FaultScenario("ordered", [
+            FaultEvent(2.0, "reseat_cable", "port:H1"),
+            FaultEvent(1.0, "pull_cable", "port:H1"),
+        ])
+        inj = make_injector(system)
+        inj.start(scenario)
+        system.env.run(until=system.env.timeout(3.0))
+        assert [(t, a) for t, a, _ in inj.trace] == [
+            (1.0, "pull_cable"), (2.0, "reseat_cable")]

@@ -1,0 +1,99 @@
+"""Fault-tolerance experiment runner: recovery paths and accounting."""
+
+import pytest
+
+from repro.chaos import FaultScenario
+from repro.experiments import (
+    cable_pull_scenario,
+    checkpoint_cadence_sweep,
+    fault_tolerance_study,
+)
+
+
+@pytest.mark.chaos
+class TestFaultToleranceStudy:
+    def test_falcon_recovers_via_hot_plug(self):
+        r = fault_tolerance_study(benchmark="resnet50",
+                                  configuration="falconGPUs",
+                                  sim_steps=6)
+        assert r.completed
+        assert r.faults == 1
+        assert r.attempts == 2
+        assert r.final_world_size == 8  # spare restored full width
+        assert "gpu_hotplug" in r.recovery_actions
+        assert "checkpoint_rollback" in r.recovery_actions
+        assert r.lost_steps > 0
+        assert r.mttr > 0
+        assert 0 < r.goodput < r.raw_throughput
+        assert 0 < r.goodput_fraction < 1
+
+    def test_local_degrades_to_n_minus_one(self):
+        r = fault_tolerance_study(benchmark="resnet50",
+                                  configuration="localGPUs",
+                                  sim_steps=6)
+        assert r.completed
+        assert r.final_world_size == 7  # no spare pool for local GPUs
+        assert "ring_shrunk" in r.recovery_actions
+        assert "gpu_hotplug" not in r.recovery_actions
+
+    def test_no_spare_forces_shrink_on_falcon(self):
+        r = fault_tolerance_study(benchmark="resnet50",
+                                  configuration="falconGPUs",
+                                  sim_steps=6, spare=False)
+        assert r.completed
+        assert r.final_world_size == 7
+        assert "ring_shrunk" in r.recovery_actions
+
+    def test_seeded_study_is_reproducible(self):
+        runs = [fault_tolerance_study(benchmark="resnet50",
+                                      configuration="falconGPUs",
+                                      sim_steps=6, seed=99)
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_explicit_scenario_is_honoured(self):
+        scenario = FaultScenario("nothing-happens", [])
+        r = fault_tolerance_study(benchmark="resnet50",
+                                  configuration="falconGPUs",
+                                  sim_steps=4, scenario=scenario)
+        assert r.scenario == "nothing-happens"
+        assert r.faults == 0
+        assert r.attempts == 1
+        assert r.lost_steps == 0
+
+    def test_scripted_scenario_shape(self):
+        s = cable_pull_scenario("falconGPUs", "falcon0/gpu1",
+                                fault_time=3.0, repair_delay=1.0)
+        actions = [(e.action, e.target) for e in s]
+        assert ("pull_cable", "port:H1") in actions
+        assert ("gpu_drop", "node:falcon0/gpu1") in actions
+        assert actions[-1] == ("reseat_cable", "port:H1")
+        local = cable_pull_scenario("localGPUs", "host0/gpu1",
+                                    fault_time=3.0, repair_delay=1.0)
+        assert [e.action for e in local] == ["gpu_drop"]
+
+
+@pytest.mark.chaos
+class TestCadenceSweep:
+    def test_every_cadence_takes_the_hit(self):
+        records = checkpoint_cadence_sweep(benchmark="resnet50",
+                                           intervals=(1, 3),
+                                           sim_steps=6)
+        assert [r.checkpoint_interval for r in records] == [1, 3]
+        for r in records:
+            assert r.completed
+            assert r.faults == 1
+            assert r.final_world_size == 8  # transient: no ring surgery
+            assert "gpu_hotplug" not in r.recovery_actions
+            assert "ring_shrunk" not in r.recovery_actions
+
+    def test_sparser_cadence_loses_more_work(self):
+        records = checkpoint_cadence_sweep(benchmark="resnet50",
+                                           intervals=(1, 4),
+                                           sim_steps=8)
+        lost = {r.checkpoint_interval: r.lost_steps for r in records}
+        assert lost[4] >= lost[1]
+
+    def test_rejects_local_configurations(self):
+        with pytest.raises(ValueError):
+            checkpoint_cadence_sweep(configuration="localGPUs")

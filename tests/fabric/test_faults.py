@@ -146,3 +146,39 @@ class TestHardFailure:
         env.run()
         assert done["victim"] == "aborted"
         assert done["safe"] == pytest.approx(1.0, rel=0.01)
+
+
+class TestReseatAndReachability:
+    def test_reseat_hard_failed_link(self, env, topo):
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        topo.fail_link(link)
+        assert link.failed
+        assert topo.failed_links() == [link]
+        topo.restore_link(link)
+        assert not link.failed
+        assert topo.failed_links() == []
+        assert topo.route("a", "b").bandwidth == PCIE_GEN4_X16.bandwidth
+
+    def test_reseat_restores_original_width(self, env, topo):
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        topo.degrade_link(link, lanes=4)
+        topo.fail_link(link)
+        topo.restore_link(link)  # re-seat retrains at full width
+        assert link.spec.bandwidth == PCIE_GEN4_X16.bandwidth
+
+    def test_reachable_tracks_failures(self, env, topo):
+        link = topo.add_link(PCIE_GEN4_X16, "a", "b")
+        assert topo.reachable("a", "b")
+        topo.fail_link(link)
+        assert not topo.reachable("a", "b")
+        topo.restore_link(link)
+        assert topo.reachable("a", "b")
+
+    def test_reachable_unknown_node(self, env, topo):
+        assert not topo.reachable("a", "ghost")
+
+    def test_no_route_error_is_descriptive(self, env, topo):
+        with pytest.raises(NoRouteError) as exc_info:
+            topo.route("a", "b")
+        assert "a" in str(exc_info.value)
+        assert "b" in str(exc_info.value)

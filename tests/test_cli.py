@@ -73,3 +73,39 @@ class TestSimulationCommands:
         out = capsys.readouterr().out
         assert "recommended" in out
         assert "->" in out
+
+
+class TestHelpSmoke:
+    def test_every_subcommand_help_exits_zero(self, capsys):
+        # Introspect the registered subcommands so new ones are covered
+        # automatically.
+        parser = build_parser()
+        sub_action = next(a for a in parser._actions
+                          if hasattr(a, "choices") and a.choices)
+        names = list(sub_action.choices)
+        assert "fault-tolerance" in names
+        for name in names:
+            with pytest.raises(SystemExit) as exc_info:
+                parser.parse_args([name, "--help"])
+            assert exc_info.value.code == 0, name
+            assert capsys.readouterr().out  # help text was printed
+
+    def test_top_level_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["--help"])
+        assert exc_info.value.code == 0
+
+
+@pytest.mark.chaos
+class TestFaultToleranceCommand:
+    def test_fault_tolerance_runs(self, capsys):
+        assert main(["fault-tolerance", "--benchmark", "resnet50",
+                     "--steps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "gpu_hotplug" in out
+
+    def test_fault_tolerance_validates_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fault-tolerance", "--config",
+                                       "cloudGPUs"])

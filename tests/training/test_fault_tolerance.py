@@ -1,0 +1,267 @@
+"""Fault detection, checkpoint-restart, and elastic ring recovery."""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultInjector
+from repro.core import ComposableSystem
+from repro.fabric import DeviceFailure, LinkFailure, NoRouteError
+from repro.training import (
+    CollectiveTimeout,
+    FaultTolerantTrainingJob,
+    ResilienceConfig,
+    TrainingConfig,
+    TrainingInterrupted,
+    TrainingJob,
+)
+from repro.workloads import get_benchmark
+
+
+def small_config(**overrides):
+    defaults = dict(benchmark=get_benchmark("resnet50"), global_batch=8,
+                    sim_steps=4, sim_checkpoints=0,
+                    checkpoint_interval_steps=2)
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+def h1_link(system):
+    _, link, _ = system.falcon.drawers[0].hosts["host0"][0]
+    return link
+
+
+class TestFaultDetection:
+    def test_link_failure_interrupts_inflight_job(self):
+        # Pull drawer 0's uplink mid-step: either an in-flight flow dies
+        # (LinkFailure) or the next collective finds no route.
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch, small_config())
+
+        def pull_mid_run(steps_done, now):
+            if steps_done == 1:
+                killed = system.topology.fail_link(h1_link(system))
+                outcome["killed"] = killed
+
+        outcome = {}
+        job.add_step_listener(pull_mid_run)
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            system.env.run(until=job.start())
+        exc = exc_info.value
+        assert isinstance(exc.cause,
+                          (LinkFailure, NoRouteError, DeviceFailure))
+        if outcome["killed"]:
+            assert isinstance(exc.cause, LinkFailure)
+        assert exc.steps_completed < 4
+        assert exc.at == system.env.now
+
+    def test_fault_before_first_checkpoint_has_no_durable_state(self):
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch,
+                          small_config(checkpoint_interval_steps=None))
+
+        def drop_gpu(steps_done, now):
+            if steps_done == 1:
+                for link in system.topology.links_of("falcon0/gpu1"):
+                    system.topology.fail_link(
+                        link, cause=DeviceFailure("falcon0/gpu1"))
+
+        job.add_step_listener(drop_gpu)
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            system.env.run(until=job.start())
+        assert exc_info.value.last_checkpoint_step is None
+
+    def test_interrupted_checkpoint_rolls_back(self):
+        # The uplink dies as the step-2 checkpoint begins: the d2h
+        # snapshot can't cross the fabric, the write never lands, and
+        # the job reports no durable checkpoint.
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch, small_config())
+
+        def pull_at_checkpoint(steps_done, now):
+            if steps_done == 2:  # fires before the checkpoint starts
+                system.topology.fail_link(h1_link(system))
+
+        job.add_step_listener(pull_at_checkpoint)
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            system.env.run(until=job.start())
+        exc = exc_info.value
+        assert exc.steps_completed == 2
+        assert exc.last_checkpoint_step is None  # rollback to step 0
+
+    def test_completed_checkpoint_is_durable(self):
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch,
+                          small_config(sim_steps=6))
+        seen = []
+        job.add_checkpoint_listener(lambda step, now: seen.append(step))
+
+        def pull_after_second_step_batch(steps_done, now):
+            if steps_done == 4:
+                system.topology.fail_link(h1_link(system))
+
+        job.add_step_listener(pull_after_second_step_batch)
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            system.env.run(until=job.start())
+        # The step-2 checkpoint (index 1) completed and survives.
+        assert exc_info.value.last_checkpoint_step == 1
+        assert seen == [1]
+
+    def test_collective_watchdog_times_out(self):
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch,
+                          small_config(collective_timeout=1e-9))
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            system.env.run(until=job.start())
+        assert isinstance(exc_info.value.cause, CollectiveTimeout)
+
+    def test_memory_reconciled_after_interrupt(self):
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch, small_config())
+        free_before = system.host.memory.level
+
+        def pull(steps_done, now):
+            if steps_done == 1:
+                system.topology.fail_link(h1_link(system))
+
+        job.add_step_listener(pull)
+        with pytest.raises(TrainingInterrupted):
+            system.env.run(until=job.start())
+        assert system.host.memory.level == pytest.approx(free_before)
+        for gpu in gpus:
+            assert gpu.memory.level == pytest.approx(0.0, abs=1.0)
+
+
+def drop_gpu_on_first_attempt(system, injector, node, at_step=2):
+    """Arm a step hook that drops ``node`` once, on the first attempt."""
+    fired = {}
+
+    def arm(job, attempt):
+        if attempt != 1:
+            return
+
+        def on_step(steps_done, now):
+            if steps_done == at_step and "done" not in fired:
+                fired["done"] = True
+                injector.apply(
+                    FaultEvent(now, "gpu_drop", f"node:{node}"))
+
+        job.add_step_listener(on_step)
+
+    return arm
+
+
+@pytest.mark.chaos
+class TestElasticRecovery:
+    def make_ft_job(self, system, gpus, **overrides):
+        resilience = ResilienceConfig(backoff_initial=0.05,
+                                      reattach_attempts=2)
+        kwargs = dict(resilience=resilience,
+                      inventory=system.inventory,
+                      event_log=system.mcs.log)
+        kwargs.update(overrides)
+        return FaultTolerantTrainingJob(
+            system.env, system.topology, system.host, gpus,
+            system.host.scratch, small_config(sim_steps=6), **kwargs)
+
+    def test_falcon_gpu_hot_swapped_from_spare(self):
+        system = ComposableSystem()
+        spare = system.install_spare_gpu(drawer=0)
+        injector = FaultInjector(system.env, system.topology,
+                                 falcon=system.falcon,
+                                 event_log=system.mcs.log)
+        ft = self.make_ft_job(system, system.falcon_gpus[:4])
+        ft.on_attempt.append(
+            drop_gpu_on_first_attempt(system, injector, "falcon0/gpu1"))
+        result = ft.run()
+
+        assert result.completed
+        assert result.faults == 1
+        assert result.attempts == 2
+        assert result.final_world_size == 4  # full width restored
+        kinds = [a.kind for a in result.recovery_log]
+        assert "gpu_hotplug" in kinds
+        assert "job_restarted" in kinds
+        # The spare now belongs to the host; the dead GPU was released.
+        assert system.falcon.owner_of(spare.name) == "host0"
+        assert system.falcon.owner_of("falcon0/gpu1") is None
+        # Recovery is operator-visible in the management audit log.
+        assert system.mcs.log.query(kind="fault_detected")
+        assert system.mcs.log.query(kind="gpu_hotplug")
+        assert system.mcs.log.query(kind="job_restarted")
+        assert result.mttr > 0
+        assert result.goodput < result.raw_throughput
+
+    def test_local_ring_shrinks_without_spares(self):
+        system = ComposableSystem()
+        system.install_spare_gpu(drawer=0)  # chassis spare can't help
+        injector = FaultInjector(system.env, system.topology,
+                                 event_log=system.mcs.log)
+        local = [system.host.gpus[i] for i in (0, 4, 6, 2)]
+        ft = self.make_ft_job(system, local)
+        ft.on_attempt.append(
+            drop_gpu_on_first_attempt(system, injector,
+                                      local[1].name))
+        result = ft.run()
+
+        assert result.completed
+        assert result.final_world_size == 3  # degraded to N-1
+        kinds = [a.kind for a in result.recovery_log]
+        assert "hotplug_unavailable" in kinds
+        assert "ring_shrunk" in kinds
+        assert "gpu_hotplug" not in kinds
+
+    def test_restart_budget_exhaustion(self):
+        system = ComposableSystem()
+        injector = FaultInjector(system.env, system.topology,
+                                 falcon=system.falcon)
+        ft = self.make_ft_job(
+            system, system.falcon_gpus[:4],
+            resilience=ResilienceConfig(max_restarts=0,
+                                        backoff_initial=0.05,
+                                        reattach_attempts=1,
+                                        allow_shrink=False))
+        ft.on_attempt.append(
+            drop_gpu_on_first_attempt(system, injector, "falcon0/gpu1"))
+        result = ft.run()
+        assert not result.completed
+        assert "recovery_gave_up" in [a.kind for a in result.recovery_log]
+
+    def test_transient_fault_needs_no_ring_surgery(self):
+        # A port flap heals within the backoff budget: pure
+        # checkpoint-restart, no hot-plug, no shrink.
+        system = ComposableSystem()
+        injector = FaultInjector(system.env, system.topology,
+                                 falcon=system.falcon,
+                                 event_log=system.mcs.log)
+
+        def flap(job, attempt):
+            if attempt != 1:
+                return
+
+            def on_step(steps_done, now):
+                if steps_done == 2:
+                    injector.apply(FaultEvent(now, "port_flap", "port:H1",
+                                              {"down": 0.02}))
+
+            job.add_step_listener(on_step)
+
+        ft = self.make_ft_job(system, system.falcon_gpus[:4])
+        ft.on_attempt.append(flap)
+        result = ft.run()
+        assert result.completed
+        assert result.final_world_size == 4
+        kinds = [a.kind for a in result.recovery_log]
+        assert "gpu_hotplug" not in kinds
+        assert "ring_shrunk" not in kinds
+        assert "job_restarted" in kinds
