@@ -14,8 +14,16 @@ Usage::
     python -m repro recommend <benchmark>   # topology recommendation
     python -m repro train <benchmark> [--config NAME] [--steps N]
                                             [--export out.csv|out.json]
+                                            [--trace-out trace.json]
+    python -m repro trace <benchmark> [--backend local|falcon|hybrid]
+                                      [--steps N] [--trace-out trace.json]
+                                      [--smoke]
 
 Every command prints the same rows the paper's tables/figures report.
+``trace`` writes a Chrome/Perfetto ``trace_event`` JSON (open in
+``chrome://tracing`` or https://ui.perfetto.dev) and prints the per-step
+compute/comm/stall/checkpoint attribution; non-local backends also trace
+a local baseline and print the Fig. 11 overhead split derived from spans.
 """
 
 from __future__ import annotations
@@ -34,6 +42,13 @@ from .core import (
 from .workloads import benchmark_names, get_benchmark
 
 __all__ = ["main", "build_parser"]
+
+#: ``trace --backend`` choices -> Table III configurations.
+TRACE_BACKENDS = {
+    "local": "localGPUs",
+    "falcon": "falconGPUs",
+    "hybrid": "hybridGPUs",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +98,25 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--steps", type=int, default=10)
     train.add_argument("--export", default=None,
                        help="write the record to a .json or .csv file")
+    train.add_argument("--trace-out", default=None,
+                       help="also capture spans and write a Chrome "
+                            "trace_event JSON file")
+
+    trace = sub.add_parser(
+        "trace", help="trace one short run and attribute its time")
+    trace.add_argument("benchmark", choices=benchmark_names())
+    trace.add_argument("--backend", default="falcon",
+                       choices=sorted(TRACE_BACKENDS),
+                       help="GPU attachment to trace (default: falcon; "
+                            "non-local backends also trace a local "
+                            "baseline for the overhead split)")
+    trace.add_argument("--steps", type=int, default=10)
+    trace.add_argument("--trace-out", default=None,
+                       help="write the Chrome trace_event JSON here")
+    trace.add_argument("--smoke", action="store_true",
+                       help="tiny run + validate the trace against the "
+                            "trace_event schema; non-zero exit on "
+                            "violations")
     return parser
 
 
@@ -304,8 +338,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "train":
-        record = run_configuration(args.benchmark, args.config,
-                                   sim_steps=args.steps)
+        if args.trace_out:
+            from .experiments import traced_run
+            from .telemetry import write_chrome_trace
+            run = traced_run(args.benchmark, args.config,
+                             sim_steps=args.steps)
+            record = run.record
+        else:
+            run = None
+            record = run_configuration(args.benchmark, args.config,
+                                       sim_steps=args.steps)
         out(render_table(
             ["Metric", "Value"],
             [("step time (ms)", round(record.step_time * 1e3, 2)),
@@ -319,6 +361,80 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.export:
             path = write_records([record], args.export)
             out(f"wrote {path}\n")
+        if run is not None:
+            path = write_chrome_trace(run.tracer, args.trace_out)
+            out(f"wrote trace ({len(run.tracer)} spans) to {path}\n")
+        return 0
+
+    if args.command == "trace":
+        from .experiments import overhead_split, traced_run
+        from .experiments.tracing import CATEGORIES
+        from .telemetry import (
+            render_ascii_timeline,
+            render_flame_summary,
+            to_chrome_trace,
+            validate_chrome_trace,
+            write_chrome_trace,
+        )
+
+        steps = max(3, args.steps // 3) if args.smoke else args.steps
+        configuration = TRACE_BACKENDS[args.backend]
+
+        def show(run, label):
+            out(render_table(
+                ["Step", "Wall ms",
+                 *(f"{c} ms" for c in CATEGORIES)],
+                run.attribution_rows(),
+                title=f"{args.benchmark} on {label}: "
+                      "per-step attribution") + "\n")
+            split = run.mean_step_split()
+            parts = ", ".join(f"{c} {split[c] * 1e3:.3f}"
+                              for c in CATEGORIES)
+            out(f"steady step: {run.mean_step_seconds * 1e3:.3f} ms "
+                f"({parts} ms)\n")
+            out(f"span-reconstructed total: "
+                f"{run.reconstructed_total:.3f} s vs reported "
+                f"{run.record.total_time:.3f} s "
+                f"(error {run.reconciliation_error * 100:.3f}%)\n\n")
+
+        if args.backend == "local":
+            run = traced_run(args.benchmark, configuration,
+                             sim_steps=steps)
+            show(run, configuration)
+        else:
+            split = overhead_split(args.benchmark, composed=configuration,
+                                   sim_steps=steps)
+            run = split.composed
+            show(run, configuration)
+            out(render_table(
+                ["Category", "local ms", f"{args.backend} ms",
+                 "delta ms", "share %"],
+                split.split_rows(),
+                title=f"Fig 11 split: {args.benchmark} "
+                      f"{configuration} vs localGPUs "
+                      f"(+{split.overhead_pct:.1f}% total)") + "\n\n")
+
+        out(render_flame_summary(run.tracer) + "\n\n")
+        if run.steps:
+            first = run.steady_steps[0]
+            out("steady-state step timeline "
+                f"(rank 0, step {first.step}):\n")
+            out(render_ascii_timeline(run.tracer, run.track,
+                                      first.start, first.end) + "\n")
+
+        trace = to_chrome_trace(run.tracer)
+        if args.trace_out:
+            path = write_chrome_trace(run.tracer, args.trace_out)
+            out(f"\nwrote trace ({len(trace['traceEvents'])} events) "
+                f"to {path}\n")
+        if args.smoke:
+            errors = validate_chrome_trace(trace)
+            if errors:
+                for error in errors[:20]:
+                    out(f"trace schema violation: {error}\n")
+                return 1
+            out(f"\ntrace OK: {len(trace['traceEvents'])} events pass "
+                "the trace_event schema\n")
         return 0
 
     return 1  # pragma: no cover - argparse enforces choices

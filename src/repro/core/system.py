@@ -163,8 +163,13 @@ class ComposableSystem:
               global_batch: Optional[int] = None,
               sim_steps: int = 24,
               collector: Optional[MetricsCollector] = None,
+              tracer=None,
               **config_overrides) -> TrainingResult:
-        """Run one benchmark on one configuration; returns the result."""
+        """Run one benchmark on one configuration; returns the result.
+
+        Passing a :class:`~repro.telemetry.Tracer` instruments the job
+        with spans and points the fabric/storage layers at it too.
+        """
         active = self.configure(configuration)
         config = TrainingConfig(
             benchmark=get_benchmark(benchmark_key),
@@ -174,9 +179,11 @@ class ComposableSystem:
             sim_steps=sim_steps,
             **config_overrides,
         )
+        if tracer is not None:
+            self.topology.tracer = tracer
         job = TrainingJob(self.env, self.topology, self.host,
                           list(active.gpus), active.storage, config,
-                          collector=collector)
+                          collector=collector, tracer=tracer)
         return job.run()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

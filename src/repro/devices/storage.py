@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..sim import CounterMonitor, Environment, Process, Resource
 from ..fabric.link import GB, LinkSpec, Protocol, SATA3, US
 from ..fabric.topology import Topology
+from ..telemetry.trace import NULL_TRACER, Category
 
 __all__ = ["StorageDevice", "StorageSpec", "SSDPEDKX040T7", "LOCAL_SCRATCH"]
 
@@ -119,7 +120,7 @@ class StorageDevice:
             raise ValueError("nbytes must be >= 0")
         return self.env.process(self._io(self.media_node, destination,
                                          nbytes, self.spec.read_latency,
-                                         self.bytes_read))
+                                         self.bytes_read, kind="read"))
 
     def write_from(self, source: str, nbytes: float) -> Process:
         """Stream ``nbytes`` from ``source`` node onto the media.
@@ -134,16 +135,30 @@ class StorageDevice:
                                          nbytes * inflation,
                                          self.spec.write_latency,
                                          self.bytes_written,
-                                         logical_bytes=nbytes))
+                                         logical_bytes=nbytes,
+                                         kind="write"))
 
     def _io(self, src: str, dst: str, nbytes: float, latency: float,
-            counter: CounterMonitor, logical_bytes: float = -1.0):
-        with self.commands.request() as slot:
-            yield slot
-            yield self.env.timeout(latency)
-            yield self.topology.transfer(src, dst, nbytes)
-            counter.add(self.env.now,
-                        logical_bytes if logical_bytes >= 0 else nbytes)
+            counter: CounterMonitor, logical_bytes: float = -1.0,
+            kind: str = "io"):
+        tracer = self.topology.tracer or NULL_TRACER
+        track = tracer.lane("storage", self.name)
+        span = tracer.span(kind, Category.STORAGE, track, device=self.name,
+                           bytes=logical_bytes if logical_bytes >= 0
+                           else nbytes)
+        try:
+            with self.commands.request() as slot:
+                queue_wait = tracer.span("queue-wait", Category.STALL,
+                                         track)
+                yield slot
+                queue_wait.close()
+                yield self.env.timeout(latency)
+                yield self.topology.transfer(src, dst, nbytes)
+                counter.add(self.env.now,
+                            logical_bytes if logical_bytes >= 0 else nbytes)
+        finally:
+            span.close()
+            tracer.release_lane(track)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<StorageDevice {self.name} ({self.spec.name})>"

@@ -56,6 +56,12 @@ from .recommender import (
     TopologyRecommender,
 )
 from .runner import ExperimentRecord, run_configuration
+from .tracing import (
+    OverheadSplit,
+    TracedRun,
+    overhead_split,
+    traced_run,
+)
 from .sharing import (
     PlacementResult,
     ReconfigurationResult,
@@ -136,4 +142,8 @@ __all__ = [
     "records_to_json",
     "records_to_csv",
     "write_records",
+    "TracedRun",
+    "OverheadSplit",
+    "traced_run",
+    "overhead_split",
 ]

@@ -86,6 +86,7 @@ def run_configuration(benchmark: str, configuration: str,
                       sim_steps: int = DEFAULT_SIM_STEPS,
                       sim_checkpoints: int = 1,
                       system: Optional[ComposableSystem] = None,
+                      tracer=None,
                       ) -> ExperimentRecord:
     """Run one benchmark on one configuration and collect all metrics."""
     system = system or ComposableSystem()
@@ -97,6 +98,7 @@ def run_configuration(benchmark: str, configuration: str,
         global_batch=global_batch,
         sim_steps=sim_steps,
         sim_checkpoints=sim_checkpoints,
+        tracer=tracer,
     )
     collector = result.collector
     windows = result.steady_windows()

@@ -394,6 +394,40 @@ class Falcon4016:
         egress = link.mean_rate(switch_name, host_node, t0, t1)
         return ingress, egress
 
+    def register_metrics(self, registry) -> None:
+        """Publish the chassis' port/slot telemetry into a MetricsRegistry.
+
+        Per in-use host port and per occupied slot: both directional link
+        byte counters, plus derived ingress/egress gauges (bytes/s over a
+        window) — the registry view of the paper's Fig. 12 data.
+        """
+        for port, (host_id, drawer) in self.port_map.items():
+            dr = self._drawer(drawer)
+            link = next(entry[1] for entry in dr.hosts[host_id]
+                        if entry[0] == port)
+            prefix = f"fabric/{self.name}/{port}"
+            link.register_metrics(registry, prefix)
+            registry.gauge(
+                f"{prefix}/ingress",
+                lambda t0, t1, p=port: self.port_traffic(p, t0, t1)[0])
+            registry.gauge(
+                f"{prefix}/egress",
+                lambda t0, t1, p=port: self.port_traffic(p, t0, t1)[1])
+        for drawer in self.drawers:
+            for slot in drawer.slots:
+                if slot.device is None or slot.link is None:
+                    continue
+                prefix = f"fabric/{self.name}/{slot.label}"
+                slot.link.register_metrics(registry, prefix)
+                registry.gauge(
+                    f"{prefix}/ingress",
+                    lambda t0, t1, d=slot.device:
+                    self.device_traffic(d, t0, t1)[0])
+                registry.gauge(
+                    f"{prefix}/egress",
+                    lambda t0, t1, d=slot.device:
+                    self.device_traffic(d, t0, t1)[1])
+
     # -- configuration import/export --------------------------------------------
     def export_config(self) -> dict:
         """Snapshot mode, cabling, slots, and allocations as plain data."""

@@ -271,6 +271,15 @@ class Link:
         """Average bytes/s in the given direction over [t0, t1]."""
         return self.counters[self.direction(src, dst)].mean_rate(t0, t1)
 
+    def register_metrics(self, registry, prefix: str) -> None:
+        """Publish both directional byte counters into a registry.
+
+        Names are ``{prefix}/{src}->{dst}`` — e.g.
+        ``fabric/falcon0/H1/host0/rc->falcon0/drawer0/switch``.
+        """
+        for (src, dst), counter in self.counters.items():
+            registry.attach(f"{prefix}/{src}->{dst}", counter)
+
     def retrain(self, spec: LinkSpec) -> None:
         """Replace the link's spec in place (lane degradation/recovery).
 

@@ -117,6 +117,10 @@ class Topology:
         self.env = env
         self.scheduler = FlowScheduler(env)
         self.transfer_overhead = transfer_overhead
+        #: Optional :class:`repro.telemetry.Tracer`; when set, every
+        #: transfer records a span (and storage/collective layers pick the
+        #: tracer up from here).  Duck-typed to avoid an import cycle.
+        self.tracer = None
         self._nodes: dict[str, Node] = {}
         self._adjacency: dict[str, list[Link]] = {}
         self._route_cache: dict[tuple[str, str], Route] = {}
@@ -328,7 +332,33 @@ class Topology:
         return self.env.process(self._transfer(route, nbytes, label))
 
     def _transfer(self, route: Route, nbytes: float, label: str):
-        yield self.env.timeout(self.transfer_overhead + route.latency)
-        if nbytes > 0 and route.segments:
-            yield self.scheduler.start_flow(route.segments, nbytes, label)
+        tracer = self.tracer
+        if tracer is None:
+            yield self.env.timeout(self.transfer_overhead + route.latency)
+            if nbytes > 0 and route.segments:
+                yield self.scheduler.start_flow(route.segments, nbytes,
+                                                label)
+            return route
+        # Traced path: one span per transfer on a pooled "fabric" lane.
+        # The stall attribute is the contention penalty — streaming time
+        # beyond what the uncontended bottleneck bandwidth would take.
+        from ..telemetry.trace import Category
+        nodes = route.nodes
+        track = tracer.lane("fabric")
+        span = tracer.span(label or "transfer", Category.FABRIC, track,
+                           bytes=nbytes,
+                           src=nodes[0] if nodes else "",
+                           dst=nodes[-1] if nodes else "")
+        try:
+            yield self.env.timeout(self.transfer_overhead + route.latency)
+            stream_t0 = self.env.now
+            if nbytes > 0 and route.segments:
+                yield self.scheduler.start_flow(route.segments, nbytes,
+                                                label)
+            ideal = nbytes / route.bandwidth if route.segments else 0.0
+            stall = max(0.0, (self.env.now - stream_t0) - ideal)
+            span.close(stall_s=stall)
+        finally:
+            span.close()  # no-op if closed above; covers the fault path
+            tracer.release_lane(track)
         return route

@@ -194,9 +194,15 @@ class CounterMonitor:
         return float(v1 - v0)
 
     def mean_rate(self, t0: float, t1: float) -> float:
-        """Average rate (unit/second) over [t0, t1]."""
-        if t1 <= t0:
-            return 0.0
+        """Average rate (unit/second) over [t0, t1].
+
+        A zero-length window has no defined rate — NaN, not 0.0 (which
+        would silently drag down averages) and not ZeroDivisionError.
+        """
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        if t1 == t0:
+            return float("nan")
         return self.total_between(t0, t1) / (t1 - t0)
 
     def rate_series(self, width: float,

@@ -1,5 +1,49 @@
-"""Telemetry: sampled system metrics (the wandb / Nsight stand-in)."""
+"""Observability: span tracing, metrics registry, sampled collectors.
+
+The subsystem has three pillars (see DESIGN.md "Observability"):
+
+- :mod:`repro.telemetry.trace` — sim-time span tracer (Nsight stand-in),
+- :mod:`repro.telemetry.registry` — namespaced metrics directory
+  unifying :class:`~repro.sim.TimeSeries`, counters, and derived gauges,
+- :mod:`repro.telemetry.export` — Chrome/Perfetto trace_event JSON,
+  flat JSONL, flame summary, and span-based step attribution (Fig. 11).
+
+:class:`MetricsCollector` remains the periodic sampler behind the
+utilization figures (9/10/13/14); it can publish its series into a
+:class:`MetricsRegistry` via the ``registry=`` constructor argument.
+"""
 
 from .collector import MetricsCollector
+from .export import (
+    StepAttribution,
+    flame_rows,
+    render_ascii_timeline,
+    render_flame_summary,
+    step_attribution,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .registry import MetricError, MetricsRegistry
+from .trace import NULL_TRACER, Category, Span, Tracer, Track
 
-__all__ = ["MetricsCollector"]
+__all__ = [
+    "MetricsCollector",
+    "MetricsRegistry",
+    "MetricError",
+    "Tracer",
+    "Span",
+    "Track",
+    "Category",
+    "NULL_TRACER",
+    "StepAttribution",
+    "step_attribution",
+    "flame_rows",
+    "render_flame_summary",
+    "render_ascii_timeline",
+    "to_chrome_trace",
+    "to_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -16,12 +16,16 @@ and summary statistics (Fig. 10/13/14's per-configuration bars).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from ..devices.cpu import CPU
-from ..devices.gpu import GPU
-from ..devices.host import HostServer
 from ..sim import Environment, TimeSeries
+
+if TYPE_CHECKING:  # imports for annotations only — keeps repro.telemetry
+    # importable from the device/fabric layers without a cycle.
+    from ..devices.cpu import CPU
+    from ..devices.gpu import GPU
+    from ..devices.host import HostServer
+    from .registry import MetricsRegistry
 
 __all__ = ["MetricsCollector"]
 
@@ -29,11 +33,13 @@ __all__ = ["MetricsCollector"]
 class MetricsCollector:
     """Periodic sampler over GPUs, CPUs, and host memory."""
 
-    def __init__(self, env: Environment, sample_interval: float = 0.25):
+    def __init__(self, env: Environment, sample_interval: float = 0.25,
+                 registry: Optional["MetricsRegistry"] = None):
         if sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
         self.env = env
         self.sample_interval = sample_interval
+        self.registry = registry
         self._gpus: list[GPU] = []
         self._cpus: list[CPU] = []
         self._hosts: list[HostServer] = []
@@ -49,7 +55,7 @@ class MetricsCollector:
         self._sample_times: list[float] = []
 
     # -- registration -----------------------------------------------------
-    def watch_gpu(self, gpu: GPU) -> None:
+    def watch_gpu(self, gpu: "GPU") -> None:
         if gpu.name in self.gpu_util:
             return
         self._gpus.append(gpu)
@@ -57,31 +63,52 @@ class MetricsCollector:
         self.gpu_mem[gpu.name] = TimeSeries(f"{gpu.name}:mem", "%")
         self.gpu_mem_access[gpu.name] = TimeSeries(
             f"{gpu.name}:mem_access", "%")
+        self._publish(f"gpu/{gpu.name}/util", self.gpu_util[gpu.name])
+        self._publish(f"gpu/{gpu.name}/mem", self.gpu_mem[gpu.name])
+        self._publish(f"gpu/{gpu.name}/mem_access",
+                      self.gpu_mem_access[gpu.name])
 
-    def watch_cpu(self, cpu: CPU) -> None:
+    def watch_cpu(self, cpu: "CPU") -> None:
         if cpu.name in self.cpu_util:
             return
         self._cpus.append(cpu)
         self.cpu_util[cpu.name] = TimeSeries(f"{cpu.name}:util", "%")
+        self._publish(f"cpu/{cpu.name}/util", self.cpu_util[cpu.name])
 
-    def watch_host(self, host: HostServer) -> None:
+    def watch_host(self, host: "HostServer") -> None:
         if host.name in self.host_mem:
             return
         self._hosts.append(host)
         self.host_mem[host.name] = TimeSeries(f"{host.name}:mem", "%")
+        self._publish(f"host/{host.name}/mem", self.host_mem[host.name])
         self.watch_cpu(host.cpu)
+
+    def _publish(self, name: str, series: TimeSeries) -> None:
+        if self.registry is not None:
+            self.registry.attach(name, series)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> None:
-        """Begin sampling (idempotent)."""
+        """Begin sampling (idempotent while running).
+
+        A collector is single-use: once :meth:`stop` has run, the sample
+        loop is dead and the busy-derived series are finalized, so a
+        restart would silently record nothing.  Starting after stop
+        therefore raises instead — create a fresh collector per attempt
+        (see ``FaultTolerantTrainingJob``, which already does).
+        """
         if self._running:
             return
+        if self._stopped:
+            raise RuntimeError(
+                "MetricsCollector cannot be restarted after stop(); "
+                "create a new collector for each run")
         self._running = True
         self._start_time = self.env.now
         self.env.process(self._sample_loop())
 
     def stop(self) -> None:
-        """Stop sampling and finalize busy-derived series.
+        """Stop sampling and finalize busy-derived series (idempotent).
 
         Gauge metrics (memory levels) are sampled live; *busy-fraction*
         metrics (GPU/CPU utilization, memory-access time) are derived here
@@ -90,6 +117,7 @@ class MetricsCollector:
         post-hoc read is a consistent estimator over every window.
         """
         self._stopped = True
+        self._running = False
         self._finalize()
 
     def _sample_loop(self):
@@ -107,6 +135,10 @@ class MetricsCollector:
 
     def _finalize(self) -> None:
         if self._finalized:
+            return
+        if self._start_time is None:
+            # stop() before start(): nothing was sampled, nothing to derive.
+            self._finalized = True
             return
         self._finalized = True
         # Each sample describes the interval [prev, now]; record it at the

@@ -28,6 +28,7 @@ from typing import Optional
 from ..sim import Environment, Event
 from ..fabric.link import Protocol
 from ..fabric.topology import Route, Topology
+from ..telemetry.trace import NULL_TRACER, Category, Tracer, Track
 
 __all__ = ["Communicator", "CollectiveError", "CollectiveTimeout",
            "TRANSPORT_PENALTY"]
@@ -95,7 +96,8 @@ class Communicator:
     def __init__(self, env: Environment, topology: Topology,
                  ranks: list[str], gpus: Optional[list] = None,
                  transport_penalty: Optional[dict] = None,
-                 watchdog: Optional[float] = None):
+                 watchdog: Optional[float] = None,
+                 tracer: Optional[Tracer] = None):
         if len(ranks) < 1:
             raise CollectiveError("communicator needs at least one rank")
         if len(set(ranks)) != len(ranks):
@@ -116,6 +118,8 @@ class Communicator:
         #: Watchdog timeout, seconds of sim time a rank may wait inside a
         #: collective before :class:`CollectiveTimeout` is raised at it.
         self.watchdog = watchdog
+        #: Span tracer; each executing collective borrows a "comm" lane.
+        self.tracer = tracer or NULL_TRACER
         self._op_seq = [0] * len(ranks)
         self._pending: dict[int, _PendingOp] = {}
         self._executing: set[_PendingOp] = set()
@@ -216,23 +220,38 @@ class Communicator:
 
     def _execute(self, op: _PendingOp):
         self._executing.add(op)
+        track = self.tracer.lane("comm")
+        arrivals = op.arrived.values()
+        span = self.tracer.span(
+            op.kind, Category.COMM, track,
+            bytes=op.nbytes, world=self.world_size,
+            # Straggler skew: how long the first rank waited for the last.
+            arrival_skew_s=(max(arrivals) - min(arrivals)) if arrivals
+            else 0.0)
         try:
             if self.world_size == 1 or op.kind == "barrier" or op.nbytes == 0:
                 yield self.env.timeout(0.0)
             elif op.kind == "allreduce":
                 yield from self._ring_phases(op.nbytes,
-                                             2 * (self.world_size - 1))
+                                             2 * (self.world_size - 1),
+                                             track)
             elif op.kind == "reduce_scatter":
-                yield from self._ring_phases(op.nbytes, self.world_size - 1)
+                yield from self._ring_phases(op.nbytes, self.world_size - 1,
+                                             track)
             elif op.kind == "allgather":
-                yield from self._ring_phases(op.nbytes, self.world_size - 1)
+                yield from self._ring_phases(op.nbytes, self.world_size - 1,
+                                             track)
             elif op.kind == "broadcast":
-                yield from self._star(op.root, op.nbytes, outbound=True)
+                yield from self._star(op.root, op.nbytes, outbound=True,
+                                      track=track)
             elif op.kind == "reduce":
-                yield from self._star(op.root, op.nbytes, outbound=False)
+                yield from self._star(op.root, op.nbytes, outbound=False,
+                                      track=track)
             else:  # pragma: no cover - guarded by _join
                 raise CollectiveError(f"unknown collective {op.kind!r}")
         except Exception as exc:
+            span.close(failed=True)
+            self.tracer.release_lane(track)
             # A transfer died under us (link pulled, GPU dropped).  Every
             # rank waits on the same done event, so failing it broadcasts
             # the fault to the whole communicator — like an NCCL kernel
@@ -245,6 +264,8 @@ class Communicator:
             op.done.defused = True
             op.done.fail(exc)
             return
+        span.close()
+        self.tracer.release_lane(track)
         self._executing.discard(op)
         if op.done.triggered:  # abort() resolved it while we were running
             return
@@ -294,7 +315,8 @@ class Communicator:
         factor = self._transport_factor(self.topology.route(src, dst))
         return self.topology.transfer(src, dst, nbytes * factor, label)
 
-    def _ring_phases(self, nbytes: float, phases: int):
+    def _ring_phases(self, nbytes: float, phases: int,
+                     track: Track = None):
         """Ring schedule: ``phases`` rounds of chunk sends to the neighbour.
 
         Each round, every rank sends ``nbytes / world_size`` to its ring
@@ -303,26 +325,31 @@ class Communicator:
         """
         chunk = nbytes / self.world_size
         n = self.world_size
-        for _ in range(phases):
-            transfers = [
-                self._send(self.ranks[i], self.ranks[(i + 1) % n],
-                           chunk, "ring")
-                for i in range(n)
-            ]
-            yield self.env.all_of(transfers)
+        for phase in range(phases):
+            with self.tracer.span("round", Category.COMM, track,
+                                  phase=phase, chunk_bytes=chunk):
+                transfers = [
+                    self._send(self.ranks[i], self.ranks[(i + 1) % n],
+                               chunk, "ring")
+                    for i in range(n)
+                ]
+                yield self.env.all_of(transfers)
 
-    def _star(self, root: int, nbytes: float, outbound: bool):
+    def _star(self, root: int, nbytes: float, outbound: bool,
+              track: Track = None):
         """Star schedule: root simultaneously sends to (or receives from)
         every other rank; the root's links are the natural bottleneck."""
         others = [i for i in range(self.world_size) if i != root]
-        transfers = []
-        for i in others:
-            if outbound:
-                src, dst = self.ranks[root], self.ranks[i]
-            else:
-                src, dst = self.ranks[i], self.ranks[root]
-            transfers.append(self._send(src, dst, nbytes, "star"))
-        yield self.env.all_of(transfers)
+        with self.tracer.span("fan-out" if outbound else "fan-in",
+                              Category.COMM, track, bytes=nbytes):
+            transfers = []
+            for i in others:
+                if outbound:
+                    src, dst = self.ranks[root], self.ranks[i]
+                else:
+                    src, dst = self.ranks[i], self.ranks[root]
+                transfers.append(self._send(src, dst, nbytes, "star"))
+            yield self.env.all_of(transfers)
 
     # -- analytics ------------------------------------------------------------
     def allreduce_bytes_on_wire(self, nbytes: float) -> float:

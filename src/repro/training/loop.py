@@ -40,6 +40,7 @@ from ..fabric.topology import (
 )
 from ..sim import Environment, Interrupt, Store
 from ..telemetry import MetricsCollector
+from ..telemetry.trace import NULL_TRACER, Category, Tracer, Track
 from ..workloads.registry import Benchmark
 from .collectives import CollectiveTimeout, Communicator
 from .parallel import (
@@ -212,10 +213,12 @@ class TrainingJob:
     def __init__(self, env: Environment, topology: Topology,
                  host: HostServer, gpus: list[GPU],
                  storage: StorageDevice, config: TrainingConfig,
-                 collector: Optional[MetricsCollector] = None):
+                 collector: Optional[MetricsCollector] = None,
+                 tracer: Optional[Tracer] = None):
         if not gpus:
             raise ValueError("training needs at least one GPU")
         self.env = env
+        self.tracer = tracer or NULL_TRACER
         self.topology = topology
         self.host = host
         self.gpus = gpus
@@ -241,7 +244,8 @@ class TrainingJob:
         self.comm = Communicator(env, topology, [g.name for g in gpus],
                                  gpus=gpus,
                                  transport_penalty=config.transport_penalty,
-                                 watchdog=config.collective_timeout)
+                                 watchdog=config.collective_timeout,
+                                 tracer=self.tracer)
         self.costs = StepCosts.for_benchmark(
             self.model, config.policy,
             self._batch_adjusted_efficiency(),
@@ -539,13 +543,20 @@ class TrainingJob:
         take periodic checkpoints."""
         cfg = self.config
         ckpt_steps = self._resolve_checkpoint_steps(steps)
+        tracer = self.tracer
+        track = Track(self.host.name, self.gpus[rank].name)
         try:
             for step in range(steps):
                 step_t0 = self.env.now
-                yield self._device_queues[rank].get()
+                step_span = tracer.span("step", Category.OTHER, track,
+                                        step=step, rank=rank)
+                with tracer.span("wait-data", Category.STALL, track):
+                    yield self._device_queues[rank].get()
                 yield from cfg.strategy.run_step(
                     self.env, self.comm, self.gpus, rank, self.costs,
-                    accumulation=cfg.accumulation_steps)
+                    accumulation=cfg.accumulation_steps,
+                    tracer=tracer, track=track)
+                step_span.close()
                 if rank == 0:
                     self._step_times.append(self.env.now - step_t0)
                     self._steps_completed = step + 1
@@ -584,17 +595,33 @@ class TrainingJob:
         once the storage write returns; a fault mid-write rolls back to
         the previous checkpoint.
         """
-        yield self.comm.barrier(rank)
+        tracer = self.tracer
+        track = Track(self.host.name, self.gpus[rank].name)
         if rank == 0:
+            yield self.comm.barrier(rank)
             t0 = self.env.now
             nbytes = self.checkpoint_bytes
-            yield self.topology.transfer(self.gpus[0].name,
-                                         self.host.dram_node, nbytes,
-                                         label="d2h-ckpt")
-            yield self.storage.write_from(self.host.dram_node, nbytes)
+            ckpt_span = tracer.span("checkpoint", Category.CHECKPOINT,
+                                    track, step=step, bytes=nbytes)
+            with tracer.span("ckpt-d2h", Category.CHECKPOINT, track,
+                             bytes=nbytes):
+                yield self.topology.transfer(self.gpus[0].name,
+                                             self.host.dram_node, nbytes,
+                                             label="d2h-ckpt")
+            with tracer.span("ckpt-write", Category.CHECKPOINT, track,
+                             bytes=nbytes):
+                yield self.storage.write_from(self.host.dram_node, nbytes)
+            ckpt_span.close()
             self._ckpt_times.append(self.env.now - t0)
             self._ckpt_spans.append((t0, self.env.now))
             self._last_checkpoint_step = step
             for fn in list(self._ckpt_listeners):
                 fn(step, self.env.now)
-        yield self.comm.barrier(rank)
+            yield self.comm.barrier(rank)
+        else:
+            # Non-root ranks idle (GPUs drained) for the whole window —
+            # the sharp utilization dips of the paper's Fig. 9.
+            with tracer.span("checkpoint-wait", Category.STALL, track,
+                             step=step):
+                yield self.comm.barrier(rank)
+                yield self.comm.barrier(rank)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..devices.gpu import GPU, Precision
+from ..telemetry.trace import NULL_TRACER, Category, Tracer, Track
 from ..workloads.layers import ModelGraph
 from .collectives import Communicator
 from .precision import PrecisionPolicy
@@ -164,13 +165,15 @@ class ParallelStrategy:
 
     # -- step schedule ----------------------------------------------------------
     def run_step(self, env, comm: Communicator, gpus: list[GPU], rank: int,
-                 costs: StepCosts, accumulation: int = 1):
+                 costs: StepCosts, accumulation: int = 1,
+                 tracer: Tracer = NULL_TRACER, track: Track = None):
         """Generator: compute + communication for one optimizer step.
 
         ``costs`` describes one *micro-batch*; with ``accumulation > 1``
         the strategy runs that many forward/backward passes, synchronizing
         gradients only on the last one (PyTorch's ``no_sync()`` pattern).
-        Called after the rank's H2D input copy has completed.
+        Called after the rank's H2D input copy has completed.  ``tracer``
+        and ``track`` record per-phase spans (no-op by default).
         """
         raise NotImplementedError
 
@@ -210,22 +213,32 @@ class DataParallel(ParallelStrategy):
     def __init__(self, master_rank: int = 0):
         self.master_rank = master_rank
 
-    def run_step(self, env, comm, gpus, rank, costs, accumulation=1):
+    def run_step(self, env, comm, gpus, rank, costs, accumulation=1,
+                 tracer=NULL_TRACER, track=None):
         t0 = env.now
         # Master replicates parameters to every GPU, every iteration.
-        yield comm.broadcast(rank, costs.weight_bytes,
-                             root=self.master_rank)
+        with tracer.span("broadcast-wait", Category.COMM, track,
+                         bytes=costs.weight_bytes):
+            yield comm.broadcast(rank, costs.weight_bytes,
+                                 root=self.master_rank)
         for _ in range(accumulation):
-            yield self._forward(gpus, rank, costs)
-            yield self._backward(gpus, rank, costs)
+            with tracer.span("forward", Category.COMPUTE, track):
+                yield self._forward(gpus, rank, costs)
+            with tracer.span("backward", Category.COMPUTE, track):
+                yield self._backward(gpus, rank, costs)
         # All gradients funnel into the master (no overlap in DP).
-        yield comm.reduce(rank, costs.gradient_bytes,
-                          root=self.master_rank)
+        with tracer.span("grad-reduce", Category.COMM, track,
+                         bytes=costs.gradient_bytes):
+            yield comm.reduce(rank, costs.gradient_bytes,
+                              root=self.master_rank)
         if rank == self.master_rank:
-            yield self._optimizer(gpus, rank, costs)
+            with tracer.span("optimizer", Category.COMPUTE, track):
+                yield self._optimizer(gpus, rank, costs)
         # Everyone waits for the master's update before the next iteration.
-        yield comm.barrier(rank)
-        yield self._step_overhead(env, costs, env.now - t0)
+        with tracer.span("sync-barrier", Category.STALL, track):
+            yield comm.barrier(rank)
+        with tracer.span("step-overhead", Category.COMPUTE, track):
+            yield self._step_overhead(env, costs, env.now - t0)
 
 
 class DistributedDataParallel(ParallelStrategy):
@@ -258,13 +271,17 @@ class DistributedDataParallel(ParallelStrategy):
     def _collective(self, comm, rank, nbytes):
         return comm.allreduce(rank, nbytes)
 
-    def run_step(self, env, comm, gpus, rank, costs, accumulation=1):
+    def run_step(self, env, comm, gpus, rank, costs, accumulation=1,
+                 tracer=NULL_TRACER, track=None):
         t0 = env.now
         # Accumulation micro-steps run without gradient sync (no_sync()).
         for _ in range(max(0, accumulation - 1)):
+            with tracer.span("forward", Category.COMPUTE, track):
+                yield self._forward(gpus, rank, costs)
+            with tracer.span("backward", Category.COMPUTE, track):
+                yield self._backward(gpus, rank, costs)
+        with tracer.span("forward", Category.COMPUTE, track):
             yield self._forward(gpus, rank, costs)
-            yield self._backward(gpus, rank, costs)
-        yield self._forward(gpus, rank, costs)
         backward_time = gpus[rank].kernel_time(
             costs.backward_flops, costs.backward_hbm_bytes,
             costs.policy.compute, costs.efficiency)
@@ -273,12 +290,30 @@ class DistributedDataParallel(ParallelStrategy):
             env.process(self._sync_bucket(env, comm, rank, ready, nbytes))
             for ready, nbytes in self._bucket_plan(costs, backward_time)
         ]
+        t_b0 = env.now
         yield env.all_of([backward] + buckets)
-        yield from self._post_sync(env, comm, gpus, rank, costs)
-        yield self._step_overhead(env, costs, env.now - t0)
+        # The backward kernel and the bucketed allreduce overlap; the
+        # kernel process returns its actual duration, so the region splits
+        # retroactively into compute and *exposed* (non-overlapped) comm.
+        if tracer.enabled and track is not None:
+            kernel_s = backward.value if backward.value is not None \
+                else backward_time
+            b_end = min(t_b0 + kernel_s, env.now)
+            tracer.complete("backward", Category.COMPUTE, track, t_b0,
+                            b_end, overlapped_comm=True)
+            if env.now - b_end > 1e-12:
+                tracer.complete("exposed-sync", Category.COMM, track,
+                                b_end, env.now,
+                                bytes=costs.gradient_bytes)
+        yield from self._post_sync(env, comm, gpus, rank, costs,
+                                   tracer=tracer, track=track)
+        with tracer.span("step-overhead", Category.COMPUTE, track):
+            yield self._step_overhead(env, costs, env.now - t0)
 
-    def _post_sync(self, env, comm, gpus, rank, costs):
-        yield self._optimizer(gpus, rank, costs)
+    def _post_sync(self, env, comm, gpus, rank, costs,
+                   tracer=NULL_TRACER, track=None):
+        with tracer.span("optimizer", Category.COMPUTE, track):
+            yield self._optimizer(gpus, rank, costs)
 
 
 class ShardedDataParallel(DistributedDataParallel):
@@ -290,9 +325,13 @@ class ShardedDataParallel(DistributedDataParallel):
     def _collective(self, comm, rank, nbytes):
         return comm.reduce_scatter(rank, nbytes)
 
-    def _post_sync(self, env, comm, gpus, rank, costs):
+    def _post_sync(self, env, comm, gpus, rank, costs,
+                   tracer=NULL_TRACER, track=None):
         # Each rank updates only its 1/N shard, then re-materializes the
         # full parameter set via all-gather.
-        yield self._optimizer(gpus, rank, costs,
-                              shard=1.0 / comm.world_size)
-        yield comm.allgather(rank, costs.weight_bytes)
+        with tracer.span("optimizer", Category.COMPUTE, track):
+            yield self._optimizer(gpus, rank, costs,
+                                  shard=1.0 / comm.world_size)
+        with tracer.span("allgather-wait", Category.COMM, track,
+                         bytes=costs.weight_bytes):
+            yield comm.allgather(rank, costs.weight_bytes)

@@ -1,0 +1,132 @@
+"""Tests for traced runs, span attribution, and the Fig. 11 split.
+
+The PR's acceptance bound lives here: the per-step span sum must
+reconcile with ``TrainingResult.total_time`` within 1%.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import overhead_split, traced_run
+from repro.experiments.export import (
+    records_to_csv,
+    records_to_json,
+    summarize_events,
+    summarize_trace,
+    write_records,
+)
+from repro.experiments.tracing import CATEGORIES
+from repro.telemetry import to_chrome_trace, validate_chrome_trace
+from repro.training.loop import WARMUP_STEPS
+
+
+@pytest.fixture(scope="module")
+def local_run():
+    return traced_run("mobilenetv2", "localGPUs", sim_steps=5)
+
+
+@pytest.fixture(scope="module")
+def split():
+    return overhead_split("mobilenetv2", composed="falconGPUs",
+                          sim_steps=5)
+
+
+class TestTracedRun:
+    def test_reconciles_within_one_percent(self, local_run):
+        assert local_run.reconciliation_error < 0.01
+        assert local_run.reconstructed_total == pytest.approx(
+            local_run.record.total_time, rel=0.01)
+
+    def test_one_attribution_per_step(self, local_run):
+        assert len(local_run.steps) == 5
+        assert [s.step for s in local_run.steps] == list(range(5))
+
+    def test_steady_steps_exclude_warmup(self, local_run):
+        assert len(local_run.steady_steps) == 5 - WARMUP_STEPS
+
+    def test_categories_sum_to_wall_every_step(self, local_run):
+        for step in local_run.steps:
+            assert step.accounted == pytest.approx(step.wall, rel=1e-6)
+
+    def test_mean_split_covers_step(self, local_run):
+        split = local_run.mean_step_split()
+        assert set(split) == set(CATEGORIES)
+        assert sum(split.values()) == pytest.approx(
+            local_run.mean_step_seconds, rel=1e-6)
+
+    def test_checkpoint_spans_captured(self, local_run):
+        assert len(local_run.checkpoint_seconds) == 1
+        assert local_run.mean_checkpoint_seconds == pytest.approx(
+            local_run.record.checkpoint_time, rel=0.01)
+
+    def test_trace_exports_valid(self, local_run):
+        trace = to_chrome_trace(local_run.tracer)
+        assert validate_chrome_trace(trace) == []
+
+    def test_chaos_events_share_the_timeline(self, local_run):
+        # the chassis event log (allocations etc.) lands as instants
+        assert local_run.tracer.instants
+        trace = to_chrome_trace(local_run.tracer)
+        assert any(e["ph"] == "i" for e in trace["traceEvents"])
+
+
+class TestOverheadSplit:
+    def test_falcon_is_slower_and_comm_dominates(self, split):
+        assert split.overhead_pct > 0
+        rows = {r[0]: r for r in split.split_rows()}
+        assert set(rows) == set(CATEGORIES)
+        # Fig. 11: composed overhead is communication, not compute
+        assert rows["comm"][4] > 50.0  # share %
+        assert rows["comm"][3] > 0  # delta ms
+
+    def test_both_runs_reconcile(self, split):
+        assert split.baseline.reconciliation_error < 0.01
+        assert split.composed.reconciliation_error < 0.01
+
+
+class TestSummaryEmbedding:
+    def test_summarize_trace(self, local_run):
+        summary = summarize_trace(local_run.tracer)
+        assert summary["spans"] == len(local_run.tracer.spans)
+        assert "compute" in summary["by_category"]
+        json.dumps(summary)
+
+    def test_summarize_events(self, local_run):
+        log = local_run.system.mcs.log
+        summary = summarize_events(log)
+        assert summary["count"] == len(log)
+        json.dumps(summary)
+
+    def test_json_embeds_summaries(self, local_run):
+        trace_summary = summarize_trace(local_run.tracer)
+        events_summary = summarize_events(local_run.system.mcs.log)
+        blob = records_to_json([local_run.record],
+                               events=[events_summary],
+                               traces=[trace_summary])
+        (row,) = json.loads(blob)
+        assert row["trace"]["spans"] > 0
+        assert row["events"]["count"] > 0
+
+    def test_csv_embeds_summaries_as_json_columns(self, local_run):
+        trace_summary = summarize_trace(local_run.tracer)
+        text = records_to_csv([local_run.record], traces=[trace_summary])
+        header, row = text.strip().split("\r\n")
+        assert header.endswith(",trace")
+        assert "events" not in header  # none supplied -> no column
+
+    def test_write_records_with_summaries(self, local_run, tmp_path):
+        path = write_records(
+            [local_run.record], tmp_path / "out.json",
+            events=[summarize_events(local_run.system.mcs.log)],
+            traces=[summarize_trace(local_run.tracer)])
+        (row,) = json.loads(path.read_text())
+        assert "events" in row and "trace" in row
+
+    def test_misaligned_summaries_rejected(self, local_run):
+        with pytest.raises(ValueError):
+            records_to_json([local_run.record], traces=[{}, {}])
+
+    def test_plain_export_unchanged(self, local_run):
+        (row,) = json.loads(records_to_json([local_run.record]))
+        assert "events" not in row and "trace" not in row

@@ -1,5 +1,7 @@
 """Unit and property tests for repro.sim.monitor."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
@@ -120,9 +122,17 @@ class TestCounterMonitor:
         c.add(10.0, 1000.0)
         assert c.mean_rate(0.0, 10.0) == pytest.approx(100.0)
 
-    def test_mean_rate_zero_window(self):
+    def test_mean_rate_zero_window_is_nan(self):
+        # A rate over a zero-length window is undefined, not zero (and
+        # must not raise ZeroDivisionError).
         c = CounterMonitor()
-        assert c.mean_rate(1.0, 1.0) == 0.0
+        c.add(1.0, 100.0)
+        assert math.isnan(c.mean_rate(1.0, 1.0))
+
+    def test_mean_rate_reversed_window_raises(self):
+        c = CounterMonitor()
+        with pytest.raises(ValueError):
+            c.mean_rate(2.0, 1.0)
 
     def test_total_between_interpolates(self):
         c = CounterMonitor()
@@ -149,3 +159,72 @@ class TestCounterMonitor:
             t += dt
             c.add(t, amount)
         assert c.total_between(0.0, t) == pytest.approx(c.total, rel=1e-9)
+
+
+class TestWindowedEdgeCases:
+    """Windowed statistics on degenerate windows (observability PR)."""
+
+    def test_summary_window_with_no_samples_inside(self):
+        ts = TimeSeries("util")
+        ts.record(10.0, 50.0)
+        s = ts.summary(2.0, 5.0)
+        assert s.count == 0
+        assert np.isnan(s.mean)
+        assert np.isnan(s.time_weighted_mean)
+
+    def test_summary_window_entirely_before_first_sample(self):
+        ts = TimeSeries("util")
+        ts.record(100.0, 1.0)
+        ts.record(200.0, 2.0)
+        s = ts.summary(0.0, 50.0)
+        assert s.count == 0
+        assert np.isnan(s.time_weighted_mean)
+
+    def test_summary_point_window_t0_equals_t1(self):
+        ts = TimeSeries("util")
+        ts.record(0.0, 10.0)
+        ts.record(1.0, 30.0)
+        ts.record(2.0, 50.0)
+        s = ts.summary(1.0, 1.0)
+        # exactly one sample falls on the instant; stats degrade gracefully
+        assert s.count == 1
+        assert s.mean == 30.0
+        assert s.time_weighted_mean == 30.0
+
+    def test_summary_point_window_off_sample_is_empty(self):
+        ts = TimeSeries("util")
+        ts.record(0.0, 10.0)
+        ts.record(2.0, 50.0)
+        s = ts.summary(1.0, 1.0)
+        assert s.count == 0
+        assert np.isnan(s.mean)
+
+    def test_resample_before_first_sample_is_nan(self):
+        ts = TimeSeries("util")
+        ts.record(5.0, 42.0)
+        out = ts.resample([0.0, 4.9, 5.0, 6.0])
+        assert np.isnan(out[0]) and np.isnan(out[1])
+        assert out[2] == 42.0 and out[3] == 42.0
+
+    def test_counter_window_before_first_increment(self):
+        c = CounterMonitor()
+        c.add(10.0, 100.0)
+        assert c.total_between(0.0, 5.0) == pytest.approx(50.0)
+        # rate over a real window is finite even with no increment event
+        # inside it (growth is linearly interpolated)
+        c2 = CounterMonitor()
+        c2.add(100.0, 1000.0)
+        assert c2.mean_rate(0.0, 10.0) == pytest.approx(10.0)
+
+    def test_counter_zero_length_window_total_is_zero(self):
+        c = CounterMonitor()
+        c.add(1.0, 100.0)
+        assert c.total_between(1.0, 1.0) == 0.0
+        assert math.isnan(c.mean_rate(1.0, 1.0))
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_mean_rate_never_raises_zero_division(self, t):
+        c = CounterMonitor()
+        c.add(t, 10.0)
+        value = c.mean_rate(t, t)
+        assert math.isnan(value)

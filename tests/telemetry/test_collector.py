@@ -1,5 +1,6 @@
 """Unit tests for the metrics collector."""
 
+import numpy as np
 import pytest
 
 from repro.devices import CPU, GPU
@@ -122,3 +123,33 @@ def test_empty_collector_means_are_nan(env):
     collector = MetricsCollector(env)
     assert math.isnan(collector.mean_gpu_utilization())
     assert math.isnan(collector.mean_host_memory())
+
+
+class TestLifecycle:
+    """stop/start idempotence and the stopped-collector contract."""
+
+    def test_stop_is_idempotent(self, env, topo):
+        c = MetricsCollector(env)
+        c.start()
+        env.run(until=1.0)
+        c.stop()
+        c.stop()  # second stop must be a no-op, not a crash
+
+    def test_stop_without_start_is_safe(self, env):
+        c = MetricsCollector(env)
+        c.stop()  # _start_time is None; _finalize must not blow up
+        assert np.isnan(c.mean_gpu_utilization())
+
+    def test_restart_after_stop_raises_clear_error(self, env):
+        c = MetricsCollector(env)
+        c.start()
+        c.stop()
+        with pytest.raises(RuntimeError, match="cannot be restarted"):
+            c.start()
+
+    def test_start_while_running_is_idempotent(self, env):
+        c = MetricsCollector(env)
+        c.start()
+        c.start()  # re-entrant start while running: no second loop
+        env.run(until=0.5)
+        c.stop()

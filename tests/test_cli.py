@@ -109,3 +109,37 @@ class TestFaultToleranceCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fault-tolerance", "--config",
                                        "cloudGPUs"])
+
+
+class TestTraceCommand:
+    def test_trace_smoke_local(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "mobilenetv2", "--backend", "local",
+                     "--smoke", "--trace-out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-step attribution" in out
+        assert "trace OK" in out
+        trace = json.loads(out_path.read_text())
+        assert trace["traceEvents"]
+
+    def test_trace_falcon_prints_fig11_split(self, capsys):
+        assert main(["trace", "mobilenetv2", "--backend", "falcon",
+                     "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 11 split" in out
+        assert "comm" in out
+        assert "span-reconstructed total" in out
+
+    def test_trace_validates_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "resnet50", "--backend", "cloud"])
+
+    def test_train_trace_out(self, capsys, tmp_path):
+        out_path = tmp_path / "t.json"
+        assert main(["train", "mobilenetv2", "--steps", "4",
+                     "--trace-out", str(out_path)]) == 0
+        assert "wrote trace" in capsys.readouterr().out
+        from repro.telemetry import validate_chrome_trace
+        assert validate_chrome_trace(
+            json.loads(out_path.read_text())) == []
