@@ -18,6 +18,9 @@ Usage::
     python -m repro trace <benchmark> [--backend local|falcon|hybrid]
                                       [--steps N] [--trace-out trace.json]
                                       [--smoke]
+    python -m repro plan <benchmark> [--strategy dp|ddp|sharded|pipeline]
+                                     [--config NAME] [--validate]
+                                     [--diff OTHER-STRATEGY]
 
 Every command prints the same rows the paper's tables/figures report.
 ``trace`` writes a Chrome/Perfetto ``trace_event`` JSON (open in
@@ -49,6 +52,9 @@ TRACE_BACKENDS = {
     "falcon": "falconGPUs",
     "hybrid": "hybridGPUs",
 }
+
+#: ``plan --strategy`` choices; resolved to classes inside ``main``.
+PLAN_STRATEGIES = ("dp", "ddp", "sharded", "pipeline")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -117,6 +123,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tiny run + validate the trace against the "
                             "trace_event schema; non-zero exit on "
                             "violations")
+
+    plan = sub.add_parser(
+        "plan", help="compile one training step to the plan IR and "
+                     "print it without simulating")
+    plan.add_argument("benchmark", choices=benchmark_names())
+    plan.add_argument("--strategy", default="ddp", choices=PLAN_STRATEGIES)
+    plan.add_argument("--config", default="localGPUs",
+                      choices=CONFIGURATION_ORDER)
+    plan.add_argument("--global-batch", type=int, default=None,
+                      help="override the benchmark's default global batch")
+    plan.add_argument("--validate", action="store_true",
+                      help="run the cycle/rank-symmetry/bytes-conservation "
+                           "passes; non-zero exit on problems")
+    plan.add_argument("--diff", default=None, choices=PLAN_STRATEGIES,
+                      metavar="OTHER",
+                      help="also compile OTHER strategy's plan and print "
+                           "an op-level diff against it")
     return parser
 
 
@@ -436,6 +459,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             out(f"\ntrace OK: {len(trace['traceEvents'])} events pass "
                 "the trace_event schema\n")
         return 0
+
+    if args.command == "plan":
+        from .plan import diff_plans, format_diff, format_plan, validate_plan
+        from .training import (
+            DataParallel,
+            DistributedDataParallel,
+            PipelineParallel,
+            ShardedDataParallel,
+            TrainingConfig,
+            TrainingJob,
+        )
+
+        strategy_classes = {
+            "dp": DataParallel,
+            "ddp": DistributedDataParallel,
+            "sharded": ShardedDataParallel,
+            "pipeline": PipelineParallel,
+        }
+
+        def compile_plan(strategy_name):
+            # A fresh system per compile: TrainingJob's constructor does
+            # the whole compile (costs, memory checks, plan) without
+            # advancing the simulation, so nothing is ever run.
+            system = ComposableSystem()
+            active = system.configure(args.config)
+            config = TrainingConfig(
+                benchmark=get_benchmark(args.benchmark),
+                strategy=strategy_classes[strategy_name](),
+                global_batch=args.global_batch,
+            )
+            job = TrainingJob(system.env, system.topology, system.host,
+                              list(active.gpus), active.storage, config)
+            return job.step_plan
+
+        plan = compile_plan(args.strategy)
+        out(format_plan(plan) + "\n")
+        status = 0
+        if args.validate:
+            problems = validate_plan(plan)
+            if problems:
+                for problem in problems:
+                    out(f"plan problem: {problem}\n")
+                status = 1
+            else:
+                out(f"\nplan OK: {len(plan)} ops pass the structure, "
+                    "cycle, rank-symmetry, and bytes-conservation "
+                    "passes\n")
+        if args.diff:
+            other = compile_plan(args.diff)
+            out("\n" + format_diff(diff_plans(plan, other), plan, other)
+                + "\n")
+        return status
 
     return 1  # pragma: no cover - argparse enforces choices
 

@@ -26,6 +26,7 @@ from ..training import (
     DataParallel,
     DistributedDataParallel,
     FP32_POLICY,
+    PipelineParallel,
     ShardedDataParallel,
 )
 
@@ -45,13 +46,17 @@ class OptVariant:
 
 #: FP32 batches are memory-capped (FP32 activations + 8-byte/param
 #: optimizer state); FP16 variants run the paper's 48; sharded runs 80
-#: (10 per GPU, paper §V-C.4).
+#: (10 per GPU, paper §V-C.4).  Pipeline-FP16 extends the study past the
+#: paper: GPipe-style stage parallelism at the paper's batch, compiled to
+#: the same plan IR and executed by the same generic executor as the
+#: data-parallel variants.
 VARIANTS: tuple[OptVariant, ...] = (
     OptVariant("DP-FP32", DataParallel, FP32_POLICY, 16),
     OptVariant("DP-FP16", DataParallel, AMP_POLICY, 48),
     OptVariant("DDP-FP32", DistributedDataParallel, FP32_POLICY, 16),
     OptVariant("DDP-FP16", DistributedDataParallel, AMP_POLICY, 48),
     OptVariant("Sharded-FP16", ShardedDataParallel, AMP_POLICY, 80),
+    OptVariant("Pipeline-FP16", PipelineParallel, AMP_POLICY, 48),
 )
 
 

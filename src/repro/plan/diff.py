@@ -1,0 +1,91 @@
+"""Structural diff between two step plans.
+
+Ops are matched by uid (the builder's deterministic ``r{rank}:{name}``
+scheme makes uids stable across compilations), then compared field by
+field.  The differ answers "what did this strategy/knob change about the
+program?" — e.g. DDP vs sharded swaps every ``grad-bucket`` collective
+from ``allreduce`` to ``reduce_scatter`` and appends an all-gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from .ir import StepPlan
+
+__all__ = ["FieldChange", "PlanDiff", "diff_plans", "format_diff"]
+
+
+@dataclass(frozen=True)
+class FieldChange:
+    """One differing field on an op present in both plans."""
+
+    uid: str
+    field: str
+    a: object
+    b: object
+
+
+@dataclass
+class PlanDiff:
+    """Outcome of :func:`diff_plans` (``a`` = old, ``b`` = new)."""
+
+    added: list = field(default_factory=list)      # uids only in b
+    removed: list = field(default_factory=list)    # uids only in a
+    changed: list = field(default_factory=list)    # FieldChange entries
+    meta_changed: dict = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return not (self.added or self.removed or self.changed
+                    or self.meta_changed)
+
+
+def _op_fields(op) -> dict:
+    out = {f.name: getattr(op, f.name) for f in fields(op)}
+    out["kind"] = op.kind
+    return out
+
+
+def diff_plans(a: StepPlan, b: StepPlan) -> PlanDiff:
+    """Compare two plans op by op (matched on uid)."""
+    diff = PlanDiff()
+    uids_a = {op.uid for op in a}
+    uids_b = {op.uid for op in b}
+    diff.removed = sorted(uids_a - uids_b)
+    diff.added = sorted(uids_b - uids_a)
+    for uid in sorted(uids_a & uids_b):
+        fa, fb = _op_fields(a.op(uid)), _op_fields(b.op(uid))
+        for name in sorted(set(fa) | set(fb)):
+            va, vb = fa.get(name), fb.get(name)
+            if va != vb:
+                diff.changed.append(FieldChange(uid, name, va, vb))
+    for key in sorted(set(a.meta) | set(b.meta)):
+        va, vb = a.meta.get(key), b.meta.get(key)
+        if va != vb:
+            diff.meta_changed[key] = (va, vb)
+    return diff
+
+
+def format_diff(diff: PlanDiff, a: StepPlan, b: StepPlan,
+                limit: int = 40) -> str:
+    """Readable summary of a diff (truncated to ``limit`` lines/section)."""
+    if diff.identical:
+        return f"plans {a.name!r} and {b.name!r} are identical"
+    lines = [f"diff {a.name!r} ({len(a)} ops) -> {b.name!r} "
+             f"({len(b)} ops): +{len(diff.added)} -{len(diff.removed)} "
+             f"~{len({c.uid for c in diff.changed})}"]
+
+    def clipped(items, render):
+        for item in items[:limit]:
+            lines.append(render(item))
+        if len(items) > limit:
+            lines.append(f"  ... {len(items) - limit} more")
+
+    clipped(diff.removed, lambda uid: f"  - {a.op(uid).describe()}")
+    clipped(diff.added, lambda uid: f"  + {b.op(uid).describe()}")
+    clipped(diff.changed,
+            lambda c: f"  ~ {c.uid}: {c.field} {c.a!r} -> {c.b!r}")
+    for key, (va, vb) in diff.meta_changed.items():
+        lines.append(f"  ~ meta[{key!r}]: {va!r} -> {vb!r}")
+    return "\n".join(lines)

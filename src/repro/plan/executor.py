@@ -1,0 +1,296 @@
+"""The generic plan executor: replay a StepPlan on the DES environment.
+
+One :class:`PlanExecution` instance is shared by every rank of one step.
+Each rank calls :meth:`PlanExecution.run_rank` from its own process; the
+executor spawns one lightweight process per op, wires dependencies
+through per-op done events (cross-rank deps included), and drives the
+same device models the hand-written strategy generators used to call:
+
+- ``Compute``  -> ``gpu.compute`` (roofline kernel, stream-serialized)
+- ``Collective``/``Barrier`` -> the ``Communicator`` rendezvous
+- ``H2DCopy``/``D2HCopy``/``P2PCopy`` -> ``topology.transfer``
+- ``StorageRead``/``StorageWrite`` -> the storage device
+- ``Delay``    -> ``env.timeout`` (plus the elapsed-fraction overhead)
+
+Telemetry is derived *mechanically* from op identities: when a rank's
+program finishes, its recorded op intervals become spans.  Exclusive ops
+emit under their own names; where communication overlapped compute
+(DDP's bucketed allreduce under backward, pipeline sends under the next
+micro-batch), the compute kernels emit directly and the non-hidden
+remainder of the communication emits as ``exposed-sync`` — exactly the
+compute/exposed-comm split the hand-instrumented loop produced.
+
+Failure semantics match the legacy loop: a fault inside an op (link
+pulled, collective timeout) fails that op's done event (pre-defused) and
+propagates out of ``run_rank`` into the trainer's fault handler; the
+training runtime then calls :meth:`PlanExecution.cancel` so no op
+process outlives the job and corrupts a successor's device state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..sim import Environment, Interrupt
+from ..telemetry.trace import NULL_TRACER, Category, Tracer
+from .ir import (
+    Barrier,
+    Collective,
+    Compute,
+    D2HCopy,
+    Delay,
+    H2DCopy,
+    P2PCopy,
+    PlanError,
+    StepPlan,
+    StorageRead,
+    StorageWrite,
+)
+
+__all__ = ["ExecutionContext", "PlanExecution"]
+
+#: Ignore sub-picosecond slivers when deriving exposed-comm segments.
+_EPS = 1e-12
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a plan needs to run: devices, fabric, comm, telemetry."""
+
+    env: Environment
+    comm: object = None
+    gpus: list = field(default_factory=list)
+    topology: object = None
+    #: Host DRAM node name (H2D/D2H endpoints).
+    host_node: Optional[str] = None
+    storage: object = None
+    tracer: Tracer = NULL_TRACER
+    #: rank -> telemetry Track (None disables span derivation).
+    track_for: Optional[Callable] = None
+    #: Multiplicative kernel-noise sampler for ``jittered`` computes.
+    jitter: Callable[[], float] = lambda: 1.0
+
+
+class PlanExecution:
+    """One in-flight instance of a plan (one optimizer step, all ranks)."""
+
+    def __init__(self, plan: StepPlan, ctx: ExecutionContext):
+        self.plan = plan
+        self.ctx = ctx
+        self._done: dict = {}          # uid -> done Event
+        self._times: dict = {}         # uid -> (start, end)
+        self._procs: list = []
+        self._rank_start: dict = {}
+        self._ranks_finished = 0
+
+    # -- introspection -----------------------------------------------------
+    def op_times(self, uid: str):
+        """(start, end) of a completed op; raises if it has not run."""
+        try:
+            return self._times[uid]
+        except KeyError:
+            raise PlanError(f"op {uid!r} has not completed") from None
+
+    @property
+    def all_ranks_done(self) -> bool:
+        return self._ranks_finished >= self.plan.world_size
+
+    # -- execution ---------------------------------------------------------
+    def _event(self, uid: str):
+        event = self._done.get(uid)
+        if event is None:
+            event = self._done[uid] = self.ctx.env.event()
+        return event
+
+    def run_rank(self, rank: int):
+        """Generator: run this rank's program to completion.
+
+        Spawns one process per op (dependencies gate their start), then
+        waits for all of them.  Any op failure propagates out of the
+        ``yield`` here, exactly as the hand-written schedules raised out
+        of their ``yield`` s.
+        """
+        env = self.ctx.env
+        self._rank_start[rank] = env.now
+        ops = self.plan.by_rank(rank)
+        procs = [env.process(self._run_op(op)) for op in ops]
+        self._procs.extend(procs)
+        if procs:
+            yield env.all_of(procs)
+        self._ranks_finished += 1
+        self._emit_rank_spans(rank)
+
+    def cancel(self, cause=None) -> None:
+        """Interrupt every still-running op process (fault teardown)."""
+        for proc in self._procs:
+            if proc.is_alive and proc._target is not None:
+                proc.interrupt(cause)
+
+    def _run_op(self, op):
+        env = self.ctx.env
+        try:
+            if op.deps:
+                yield env.all_of([self._event(dep) for dep in op.deps])
+            start = env.now
+            yield from self._perform(op)
+            self._times[op.uid] = (start, env.now)
+        except Interrupt:
+            return
+        except BaseException as exc:
+            # Fail the done event (pre-defused: dependents may already be
+            # gone) so cross-rank waiters unwind instead of hanging.
+            done = self._event(op.uid)
+            if not done.triggered:
+                done.defused = True
+                done.fail(exc)
+            raise
+        done = self._event(op.uid)
+        if not done.triggered:
+            done.succeed()
+
+    # -- op dispatch -------------------------------------------------------
+    def _perform(self, op):
+        ctx = self.ctx
+        if isinstance(op, Compute):
+            factor = ctx.jitter() if op.jittered else 1.0
+            yield ctx.gpus[op.rank].compute(
+                op.flops * factor, op.hbm_bytes, op.precision,
+                op.efficiency)
+        elif isinstance(op, Collective):
+            yield self._join_collective(op)
+        elif isinstance(op, Barrier):
+            yield ctx.comm.barrier(op.rank)
+        elif isinstance(op, H2DCopy):
+            yield ctx.topology.transfer(ctx.host_node,
+                                        ctx.gpus[op.rank].name,
+                                        op.bytes, label=op.label)
+        elif isinstance(op, D2HCopy):
+            yield ctx.topology.transfer(ctx.gpus[op.rank].name,
+                                        ctx.host_node, op.bytes,
+                                        label=op.label)
+        elif isinstance(op, P2PCopy):
+            yield ctx.topology.transfer(ctx.gpus[op.rank].name,
+                                        ctx.gpus[op.dst_rank].name,
+                                        op.bytes, label=op.label)
+        elif isinstance(op, StorageRead):
+            yield ctx.storage.read_to(ctx.host_node, op.bytes)
+        elif isinstance(op, StorageWrite):
+            yield ctx.storage.write_from(ctx.host_node, op.bytes)
+        elif isinstance(op, Delay):
+            elapsed = self.ctx.env.now - self._rank_start[op.rank]
+            yield self.ctx.env.timeout(
+                op.seconds + op.elapsed_fraction * elapsed)
+        else:  # pragma: no cover - taxonomy is closed
+            raise PlanError(f"executor cannot run op kind {op.kind!r}")
+
+    def _join_collective(self, op):
+        comm = self.ctx.comm
+        if op.comm == "allreduce":
+            return comm.allreduce(op.rank, op.bytes)
+        if op.comm == "reduce_scatter":
+            return comm.reduce_scatter(op.rank, op.bytes)
+        if op.comm == "all_gather":
+            return comm.allgather(op.rank, op.bytes)
+        if op.comm == "broadcast":
+            return comm.broadcast(op.rank, op.bytes, root=op.root or 0)
+        if op.comm == "reduce":
+            return comm.reduce(op.rank, op.bytes, root=op.root or 0)
+        raise PlanError(f"unknown collective {op.comm!r}")
+
+    # -- mechanical span derivation ---------------------------------------
+    def _emit_rank_spans(self, rank: int) -> None:
+        tracer = self.ctx.tracer
+        if not tracer.enabled or self.ctx.track_for is None:
+            return
+        track = self.ctx.track_for(rank)
+        if track is None:
+            return
+        records = [(op, *self._times[op.uid])
+                   for op in self.plan.by_rank(rank)
+                   if op.traced and op.uid in self._times]
+        for cluster in _overlap_clusters(records):
+            if len(cluster) == 1:
+                op, start, end = cluster[0]
+                tracer.complete(op.name, op.category, track, start, end,
+                                **_span_attrs(op))
+                continue
+            computes = [r for r in cluster
+                        if r[0].category is Category.COMPUTE]
+            others = [r for r in cluster
+                      if r[0].category is not Category.COMPUTE]
+            for op, start, end in computes:
+                tracer.complete(op.name, op.category, track, start, end,
+                                overlapped_comm=bool(others),
+                                **_span_attrs(op))
+            if not others:
+                continue
+            hidden = _merge_intervals([(s, e) for _, s, e in computes])
+            exposed = _subtract_intervals(
+                _merge_intervals([(s, e) for _, s, e in others]), hidden)
+            total_bytes = sum(op.bytes for op, _, _ in others)
+            for start, end in exposed:
+                if end - start > _EPS:
+                    tracer.complete("exposed-sync", Category.COMM, track,
+                                    start, end, bytes=total_bytes)
+
+
+def _span_attrs(op) -> dict:
+    attrs = {}
+    if op.bytes:
+        attrs["bytes"] = op.bytes
+    return attrs
+
+
+def _overlap_clusters(records):
+    """Group (op, start, end) records into interval-overlap clusters.
+
+    Records touching only at endpoints are *not* overlapping; each
+    cluster's spans would violate the tracer's per-track nesting
+    invariant if emitted verbatim, so clusters of size > 1 get the
+    compute/exposed-comm treatment.
+    """
+    ordered = sorted(records, key=lambda r: (r[1], r[2]))
+    clusters = []
+    current: list = []
+    current_end = float("-inf")
+    for record in ordered:
+        _, start, end = record
+        if current and start >= current_end - _EPS:
+            clusters.append(current)
+            current = []
+            current_end = float("-inf")
+        current.append(record)
+        current_end = max(current_end, end)
+    if current:
+        clusters.append(current)
+    return clusters
+
+
+def _merge_intervals(intervals):
+    """Union of [start, end) intervals, as a sorted disjoint list."""
+    merged = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1] + _EPS:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _subtract_intervals(base, holes):
+    """Set-difference of two disjoint sorted interval lists."""
+    out = []
+    for start, end in base:
+        cursor = start
+        for h0, h1 in holes:
+            if h1 <= cursor or h0 >= end:
+                continue
+            if h0 > cursor:
+                out.append((cursor, min(h0, end)))
+            cursor = max(cursor, h1)
+            if cursor >= end:
+                break
+        if cursor < end:
+            out.append((cursor, end))
+    return out

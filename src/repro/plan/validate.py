@@ -1,0 +1,179 @@
+"""Static validation passes over a :class:`~repro.plan.ir.StepPlan`.
+
+Three families of checks:
+
+1. **Graph well-formedness** — dangling dependencies, duplicate uids
+   (already rejected at construction), rank ranges, negative costs, and
+   cycle detection via Kahn's algorithm.
+2. **Rank symmetry** — every rank must issue the *same ordered sequence*
+   of collectives/barriers with matching kind, bytes, and root.  This is
+   the static mirror of the communicator's runtime rendezvous (which
+   matches ops by per-rank sequence number and raises
+   ``CollectiveError`` on divergence); a plan that fails this pass would
+   deadlock or crash a real NCCL job.
+3. **Bytes conservation** — for every payload the plan declares under
+   ``meta["conservation"]`` (``{payload: expected_total_bytes}``), the
+   bytes of ops tagged with that payload must sum to the declaration.
+   This is a lint against compiler bucketing/sharding bugs: however a
+   strategy splits gradients into buckets or shards, the total on the
+   wire must equal what the model produces.
+"""
+
+from __future__ import annotations
+
+from .ir import Barrier, Collective, Compute, Delay, Op, StepPlan
+
+__all__ = ["PlanValidationError", "validate_plan", "assert_valid",
+           "topological_order"]
+
+#: Relative slack for byte-conservation comparisons (float accumulation).
+_CONSERVATION_RTOL = 1e-6
+
+
+class PlanValidationError(Exception):
+    """A plan failed validation; ``problems`` lists every finding."""
+
+    def __init__(self, plan_name: str, problems: list):
+        super().__init__(
+            f"plan {plan_name!r} failed validation with "
+            f"{len(problems)} problem(s):\n  " + "\n  ".join(problems))
+        self.problems = list(problems)
+
+
+def topological_order(plan: StepPlan) -> list:
+    """Kahn's algorithm; raises :class:`PlanValidationError` on a cycle."""
+    indegree = {op.uid: 0 for op in plan}
+    dependents: dict = {op.uid: [] for op in plan}
+    for op in plan:
+        for dep in op.deps:
+            if dep in indegree:
+                indegree[op.uid] += 1
+                dependents[dep].append(op.uid)
+    ready = [op.uid for op in plan if indegree[op.uid] == 0]
+    order = []
+    while ready:
+        uid = ready.pop()
+        order.append(plan.op(uid))
+        for nxt in dependents[uid]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(plan):
+        stuck = sorted(uid for uid, deg in indegree.items() if deg > 0)
+        raise PlanValidationError(
+            plan.name, [f"dependency cycle involving: {', '.join(stuck)}"])
+    return order
+
+
+def validate_plan(plan: StepPlan) -> list:
+    """Run every pass; return the list of problems (empty = valid)."""
+    problems: list = []
+    problems += _check_structure(plan)
+    # Cycle detection only makes sense on a structurally sound graph.
+    if not problems:
+        problems += _check_acyclic(plan)
+    problems += _check_rank_symmetry(plan)
+    problems += _check_conservation(plan)
+    return problems
+
+
+def assert_valid(plan: StepPlan) -> StepPlan:
+    """Raise :class:`PlanValidationError` unless the plan is clean."""
+    problems = validate_plan(plan)
+    if problems:
+        raise PlanValidationError(plan.name, problems)
+    return plan
+
+
+# -- passes ----------------------------------------------------------------
+
+def _check_structure(plan: StepPlan) -> list:
+    problems = []
+    for op in plan:
+        if not 0 <= op.rank < plan.world_size:
+            problems.append(f"{op.uid}: rank {op.rank} out of range "
+                            f"[0, {plan.world_size})")
+        for dep in op.deps:
+            if dep not in plan:
+                problems.append(f"{op.uid}: dangling dep {dep!r}")
+            elif dep == op.uid:
+                problems.append(f"{op.uid}: depends on itself")
+        if op.bytes < 0:
+            problems.append(f"{op.uid}: negative bytes {op.bytes}")
+        if isinstance(op, Compute):
+            if op.flops < 0 or op.hbm_bytes < 0:
+                problems.append(f"{op.uid}: negative compute cost")
+            if not 0 < op.efficiency <= 1.5:
+                problems.append(
+                    f"{op.uid}: implausible efficiency {op.efficiency}")
+        if isinstance(op, Delay):
+            if op.seconds < 0 or op.elapsed_fraction < 0:
+                problems.append(f"{op.uid}: negative delay")
+        if isinstance(op, Collective) and op.root is not None \
+                and not 0 <= op.root < plan.world_size:
+            problems.append(f"{op.uid}: root {op.root} out of range")
+    return problems
+
+
+def _check_acyclic(plan: StepPlan) -> list:
+    try:
+        topological_order(plan)
+    except PlanValidationError as exc:
+        return list(exc.problems)
+    return []
+
+
+def _sync_signature(op: Op):
+    """What must match across ranks for one rendezvous slot."""
+    if isinstance(op, Collective):
+        return ("collective", op.comm, op.bytes, op.root)
+    if isinstance(op, Barrier):
+        return ("barrier",)
+    return None
+
+
+def _check_rank_symmetry(plan: StepPlan) -> list:
+    """All ranks must issue identical ordered collective/barrier runs."""
+    sequences = []
+    for rank in range(plan.world_size):
+        sequences.append([
+            sig for sig in map(_sync_signature, plan.by_rank(rank))
+            if sig is not None])
+    reference = sequences[0]
+    problems = []
+    for rank, seq in enumerate(sequences[1:], start=1):
+        if len(seq) != len(reference):
+            problems.append(
+                f"rank-symmetry: rank {rank} issues {len(seq)} "
+                f"collective/barrier ops, rank 0 issues {len(reference)}")
+            continue
+        for slot, (a, b) in enumerate(zip(reference, seq)):
+            if a != b:
+                problems.append(
+                    f"rank-symmetry: slot {slot} diverges — "
+                    f"rank 0 {a!r} vs rank {rank} {b!r}")
+                break
+    return problems
+
+
+def _check_conservation(plan: StepPlan) -> list:
+    declared = plan.meta.get("conservation", {})
+    if not declared:
+        return []
+    totals: dict = {}
+    for op in plan:
+        if op.payload is not None:
+            totals[op.payload] = totals.get(op.payload, 0.0) + op.bytes
+    problems = []
+    for payload, expected in sorted(declared.items()):
+        actual = totals.get(payload, 0.0)
+        tolerance = _CONSERVATION_RTOL * max(abs(expected), 1.0)
+        if abs(actual - expected) > tolerance:
+            problems.append(
+                f"bytes-conservation: payload {payload!r} sums to "
+                f"{actual:.6g} B but the plan declares {expected:.6g} B")
+    for payload in sorted(set(totals) - set(declared)):
+        problems.append(
+            f"bytes-conservation: payload {payload!r} is tagged on ops "
+            "but has no declared total in meta['conservation']")
+    return problems

@@ -225,7 +225,12 @@ class Process(Event):
         event.defused = True
         # Detach from the event we were waiting on: we will be resumed by
         # the interrupt instead.  The original event may still fire later;
-        # the process can re-wait on it.
+        # the process can re-wait on it.  Defuse it too — if it instead
+        # *fails* later (a teardown racing an in-flight fault cascade) and
+        # every waiter was interrupted away, the orphaned failure must not
+        # crash the simulation.  Defusing never hides the failure from
+        # surviving waiters: delivery marks the event defused anyway.
+        self._target.defused = True
         if self._target.callbacks is not None:
             try:
                 self._target.callbacks.remove(self._resume)

@@ -14,9 +14,11 @@ from .loop import (
     TrainingResult,
 )
 from .parallel import (
+    CompileContext,
     DataParallel,
     DistributedDataParallel,
     ParallelStrategy,
+    PipelineParallel,
     ShardedDataParallel,
     StepCosts,
     activation_factor,
@@ -37,6 +39,8 @@ __all__ = [
     "DataParallel",
     "DistributedDataParallel",
     "ShardedDataParallel",
+    "PipelineParallel",
+    "CompileContext",
     "StepCosts",
     "activation_factor",
     "PrecisionPolicy",

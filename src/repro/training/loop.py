@@ -8,8 +8,9 @@ end to end:
    cores, and enqueues per-rank micro-batches (bounded prefetch queues
    give natural pipelining and backpressure);
 2. each **rank process** copies its micro-batch host-to-device over the
-   PCIe/fabric path, then runs the strategy's step schedule (forward,
-   backward with overlapped gradient synchronization, optimizer);
+   PCIe/fabric path, then executes its program of the strategy's
+   *compiled step plan* (forward, backward with overlapped gradient
+   synchronization, optimizer) through the generic plan executor;
 3. periodically rank 0 **checkpoints**: all ranks synchronize, the
    weights stream device-to-host and onto storage, and the other GPUs sit
    idle — producing the sharp utilization dips of the paper's Fig. 9.
@@ -23,7 +24,6 @@ makes for training fewer epochs).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -38,12 +38,14 @@ from ..fabric.topology import (
     NoRouteError,
     Topology,
 )
+from ..plan import ExecutionContext, PlanBuilder, PlanExecution
 from ..sim import Environment, Interrupt, Store
 from ..telemetry import MetricsCollector
 from ..telemetry.trace import NULL_TRACER, Category, Tracer, Track
 from ..workloads.registry import Benchmark
 from .collectives import CollectiveTimeout, Communicator
 from .parallel import (
+    CompileContext,
     DistributedDataParallel,
     ParallelStrategy,
     StepCosts,
@@ -128,6 +130,22 @@ class TrainingConfig:
     #: ``None`` disables the watchdog (a rank stuck on a dead peer hangs,
     #: as NCCL does without a timeout configured).
     collective_timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.sim_steps <= 0:
+            raise ValueError(
+                f"sim_steps must be a positive step count, "
+                f"got {self.sim_steps}")
+        if self.accumulation_steps < 1:
+            raise ValueError(
+                f"accumulation_steps must be >= 1, "
+                f"got {self.accumulation_steps}")
+        if self.checkpoint_interval_steps is not None \
+                and self.checkpoint_interval_steps < 0:
+            raise ValueError(
+                "checkpoint_interval_steps must be None (auto), "
+                "0 (disabled), or a positive cadence, got "
+                f"{self.checkpoint_interval_steps}")
 
     def resolved_global_batch(self) -> int:
         return self.global_batch or self.benchmark.global_batch
@@ -228,13 +246,13 @@ class TrainingJob:
         self.model = self.benchmark.build()
         self.world_size = len(gpus)
         self.global_batch = config.resolved_global_batch()
-        if self.global_batch % self.world_size != 0:
-            raise ValueError(
-                f"global batch {self.global_batch} not divisible by "
-                f"world size {self.world_size}")
-        self.batch_per_gpu = self.global_batch // self.world_size
-        if config.accumulation_steps < 1:
-            raise ValueError("accumulation_steps must be >= 1")
+        # Strategies own batch placement: data-parallel splits the global
+        # batch across ranks, pipeline parallelism streams the full batch
+        # through every stage.
+        self.batch_per_gpu = config.strategy.rank_batch(
+            self.global_batch, self.world_size)
+        self._input_ranks = tuple(sorted(
+            config.strategy.input_ranks(self.world_size)))
         if self.batch_per_gpu % config.accumulation_steps != 0:
             raise ValueError(
                 f"per-GPU batch {self.batch_per_gpu} not divisible by "
@@ -271,6 +289,23 @@ class TrainingJob:
                 f"needs {per_gpu / 1e9:.1f} GB > {capacity / 1e9:.1f} GB "
                 f"device memory under {config.strategy.name}")
         self._gpu_resident_bytes = per_gpu
+
+        # Compile the strategy's step into a plan once; the generic
+        # executor replays it every optimizer step.  The checkpoint path
+        # compiles the same way, so every device interaction the job
+        # performs (outside data loading) is visible as a static op DAG.
+        self.step_plan = config.strategy.compile_step(CompileContext(
+            costs=self.costs, world_size=self.world_size,
+            accumulation=config.accumulation_steps, gpus=gpus))
+        self.checkpoint_plan, self._ckpt_uids = self._compile_checkpoint()
+        self._exec_ctx = ExecutionContext(
+            env=env, comm=self.comm, gpus=gpus, topology=topology,
+            host_node=host.dram_node, storage=storage, tracer=self.tracer,
+            track_for=lambda rank: Track(host.name, gpus[rank].name),
+            jitter=self.costs.jitter_factor)
+        #: In-flight plan executions, keyed ("step"|"ckpt", step index);
+        #: shared across ranks and reaped when the last rank finishes.
+        self._executions: dict = {}
 
         # Step bookkeeping.
         self.steps_per_epoch = self.benchmark.dataset.steps_per_epoch(
@@ -323,6 +358,44 @@ class TrainingJob:
     def checkpoint_bytes(self) -> float:
         """Serialized training state: FP32 weights + optimizer moments."""
         return self.model.params * 12.0
+
+    def _compile_checkpoint(self):
+        """Compile the periodic checkpoint into a plan.
+
+        All ranks rendezvous, rank 0 drains the serialized state
+        device-to-host and persists it to storage, then everyone
+        rendezvous again — the other GPUs sit idle for the whole window
+        (the sharp utilization dips of the paper's Fig. 9).  Returns the
+        plan plus the uids the trainer needs for durability bookkeeping.
+        """
+        nbytes = self.checkpoint_bytes
+        b = PlanBuilder("checkpoint", self.world_size,
+                        meta={"strategy": "checkpoint"})
+        b.declare_conservation("checkpoint-state", 2.0 * nbytes)
+        uids = {}
+        for rank in range(self.world_size):
+            enter = b.barrier(rank, "ckpt-enter", traced=False)
+            if rank == 0:
+                d2h = b.d2h(rank, "ckpt-d2h", nbytes, deps=[enter],
+                            label="d2h-ckpt", payload="checkpoint-state")
+                write = b.storage_write(rank, "ckpt-write", nbytes,
+                                        deps=[d2h],
+                                        payload="checkpoint-state",
+                                        category=Category.CHECKPOINT)
+                b.barrier(rank, "ckpt-exit", deps=[write], traced=False)
+                uids = {"enter": enter, "write": write}
+            else:
+                b.barrier(rank, "ckpt-exit", deps=[enter], traced=False)
+        return b.build(), uids
+
+    def _execution(self, key, plan) -> PlanExecution:
+        """The shared in-flight execution for ``key``, created on first
+        use (whichever rank gets there first)."""
+        execution = self._executions.get(key)
+        if execution is None:
+            execution = self._executions[key] = PlanExecution(
+                plan, self._exec_ctx)
+        return execution
 
     def effective_read_bandwidth(self) -> float:
         """Storage read bandwidth after the random-access penalty."""
@@ -450,7 +523,7 @@ class TrainingJob:
 
         loader = self.env.process(self._dataloader(cfg.sim_steps))
         feeders = [self.env.process(self._feeder(rank, cfg.sim_steps))
-                   for rank in range(self.world_size)]
+                   for rank in self._input_ranks]
         trainers = [self.env.process(self._trainer(rank, cfg.sim_steps))
                     for rank in range(self.world_size)]
         workers = [loader] + feeders + trainers
@@ -458,14 +531,20 @@ class TrainingJob:
 
         fault = self._failure.value if self._failure.triggered else None
         if fault is not None:
-            # Orderly teardown: stop every surviving worker, abort the
-            # communicator so nothing waits on a collective that will
-            # never complete, then let the interrupts unwind (they are
-            # URGENT events; a zero-delay NORMAL timeout runs after all
-            # of them) before reconciling memory.
+            # Orderly teardown: stop every surviving worker, cancel every
+            # in-flight plan op (a bucket timer that outlives the job
+            # would join an aborted collective and launch real kernels
+            # into a successor's stream), abort the communicator so
+            # nothing waits on a collective that will never complete,
+            # then let the interrupts unwind (they are URGENT events; a
+            # zero-delay NORMAL timeout runs after all of them) before
+            # reconciling memory.
             for proc in workers:
                 if proc.is_alive:
                     proc.interrupt(fault)
+            for execution in list(self._executions.values()):
+                execution.cancel(fault)
+            self._executions.clear()
             self.comm.abort()
             yield self.env.timeout(0.0)
 
@@ -507,7 +586,8 @@ class TrainingJob:
                 if cpu_seconds > 0:
                     yield self.host.cpu.run(cpu_seconds,
                                             self.config.dataloader_workers)
-                puts = [q.put(step) for q in self._queues]
+                puts = [self._queues[rank].put(step)
+                        for rank in self._input_ranks]
                 yield self.env.all_of(puts)
         except self._FAULTS as exc:
             self._report_failure(exc)
@@ -518,8 +598,11 @@ class TrainingJob:
         """Pinned-memory prefetch: copy the next micro-batch to the device
         while the current step computes (PyTorch's non_blocking H2D)."""
         gpu = self.gpus[rank]
+        # Input ranks split the loader's staging buffer between them
+        # (equal to ``batch_per_gpu`` under data parallelism, the whole
+        # batch for a pipeline's single ingest stage).
         h2d_rank = self.benchmark.dataset.h2d_bytes_per_sample \
-            * self.batch_per_gpu
+            * (self.global_batch // len(self._input_ranks))
         try:
             for _ in range(steps):
                 item = yield self._queues[rank].get()
@@ -539,9 +622,8 @@ class TrainingJob:
             return
 
     def _trainer(self, rank: int, steps: int):
-        """One rank: await the prefetched batch, run the strategy step,
-        take periodic checkpoints."""
-        cfg = self.config
+        """One rank: await the prefetched batch, run its program of the
+        compiled step plan, take periodic checkpoints."""
         ckpt_steps = self._resolve_checkpoint_steps(steps)
         tracer = self.tracer
         track = Track(self.host.name, self.gpus[rank].name)
@@ -550,12 +632,13 @@ class TrainingJob:
                 step_t0 = self.env.now
                 step_span = tracer.span("step", Category.OTHER, track,
                                         step=step, rank=rank)
-                with tracer.span("wait-data", Category.STALL, track):
-                    yield self._device_queues[rank].get()
-                yield from cfg.strategy.run_step(
-                    self.env, self.comm, self.gpus, rank, self.costs,
-                    accumulation=cfg.accumulation_steps,
-                    tracer=tracer, track=track)
+                if rank in self._input_ranks:
+                    with tracer.span("wait-data", Category.STALL, track):
+                        yield self._device_queues[rank].get()
+                execution = self._execution(("step", step), self.step_plan)
+                yield from execution.run_rank(rank)
+                if execution.all_ranks_done:
+                    self._executions.pop(("step", step), None)
                 step_span.close()
                 if rank == 0:
                     self._step_times.append(self.env.now - step_t0)
@@ -597,31 +680,27 @@ class TrainingJob:
         """
         tracer = self.tracer
         track = Track(self.host.name, self.gpus[rank].name)
+        execution = self._execution(("ckpt", step), self.checkpoint_plan)
         if rank == 0:
-            yield self.comm.barrier(rank)
-            t0 = self.env.now
-            nbytes = self.checkpoint_bytes
-            ckpt_span = tracer.span("checkpoint", Category.CHECKPOINT,
-                                    track, step=step, bytes=nbytes)
-            with tracer.span("ckpt-d2h", Category.CHECKPOINT, track,
-                             bytes=nbytes):
-                yield self.topology.transfer(self.gpus[0].name,
-                                             self.host.dram_node, nbytes,
-                                             label="d2h-ckpt")
-            with tracer.span("ckpt-write", Category.CHECKPOINT, track,
-                             bytes=nbytes):
-                yield self.storage.write_from(self.host.dram_node, nbytes)
-            ckpt_span.close()
-            self._ckpt_times.append(self.env.now - t0)
-            self._ckpt_spans.append((t0, self.env.now))
+            yield from execution.run_rank(rank)
+            # Durability bookkeeping off the executed ops' timestamps:
+            # the checkpoint window opens when the entry rendezvous
+            # completes and is durable when the storage write returns.
+            t0 = execution.op_times(self._ckpt_uids["enter"])[1]
+            t_durable = execution.op_times(self._ckpt_uids["write"])[1]
+            tracer.complete("checkpoint", Category.CHECKPOINT, track,
+                            t0, t_durable, step=step,
+                            bytes=self.checkpoint_bytes)
+            self._ckpt_times.append(t_durable - t0)
+            self._ckpt_spans.append((t0, t_durable))
             self._last_checkpoint_step = step
             for fn in list(self._ckpt_listeners):
                 fn(step, self.env.now)
-            yield self.comm.barrier(rank)
         else:
             # Non-root ranks idle (GPUs drained) for the whole window —
             # the sharp utilization dips of the paper's Fig. 9.
             with tracer.span("checkpoint-wait", Category.STALL, track,
                              step=step):
-                yield self.comm.barrier(rank)
-                yield self.comm.barrier(rank)
+                yield from execution.run_rank(rank)
+        if execution.all_ranks_done:
+            self._executions.pop(("ckpt", step), None)

@@ -1,4 +1,5 @@
-"""Data-parallel training strategies: DP, DDP, and sharded (ZeRO-style).
+"""Parallel training strategies as *plan compilers*: DP, DDP, sharded,
+and pipeline.
 
 These reproduce the software-level optimization axis of the paper's
 §V-C.4 / Fig. 16:
@@ -13,30 +14,39 @@ These reproduce the software-level optimization axis of the paper's
   as reduce-scatter + all-gather with optimizer state, master weights, and
   gradients partitioned across replicas — the memory saving is what lets
   the paper push BERT-large's per-GPU batch from 6 to 10.
+- :class:`PipelineParallel` (GPipe-style): the model's layers are
+  partitioned into one stage per GPU and micro-batches flow through the
+  stages; it exists here to prove the compiler/executor split pays — the
+  strategy is *only* a plan compiler, and the generic executor runs it
+  unchanged.
 
-Each strategy provides both a *memory model* (what fits on a 16 GB V100)
-and a *step schedule* (a generator executed by each rank's training
-process, issuing real compute kernels and collectives).
+Each strategy provides a *memory model* (what fits on a 16 GB V100) and a
+*step compiler* (:meth:`ParallelStrategy.compile_step`), which emits a
+:class:`repro.plan.StepPlan` — a typed op DAG the generic plan executor
+replays on the DES environment.  Bucket scheduling, overlap, and
+synchronization structure are therefore plan-construction decisions, not
+hand-threaded generator code.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import Optional
 
-from ..devices.gpu import GPU, Precision
-from ..telemetry.trace import NULL_TRACER, Category, Tracer, Track
+from ..devices.gpu import Precision
+from ..plan import PlanBuilder, StepPlan
 from ..workloads.layers import ModelGraph
-from .collectives import Communicator
 from .precision import PrecisionPolicy
 
 __all__ = [
     "StepCosts",
+    "CompileContext",
     "ParallelStrategy",
     "DataParallel",
     "DistributedDataParallel",
     "ShardedDataParallel",
+    "PipelineParallel",
     "FRAMEWORK_OVERHEAD_BYTES",
     "activation_factor",
 ]
@@ -125,14 +135,47 @@ class StepCosts:
         return float(self.rng.lognormal(mean=0.0, sigma=self.jitter))
 
 
+@dataclass
+class CompileContext:
+    """What a strategy needs to compile one step into a plan."""
+
+    costs: StepCosts
+    world_size: int
+    accumulation: int = 1
+    #: The actual rank GPUs; lets compilers place schedule anchors that
+    #: depend on kernel *time* (DDP's bucket readiness points) without
+    #: hard-coding a device model.
+    gpus: Optional[list] = None
+
+    def backward_seconds(self, rank: int) -> float:
+        """Deterministic backward kernel time on this rank's GPU."""
+        c = self.costs
+        return self.gpus[rank].kernel_time(
+            c.backward_flops, c.backward_hbm_bytes, c.policy.compute,
+            c.efficiency)
+
+
 class ParallelStrategy:
-    """Base strategy: memory model + per-rank step schedule."""
+    """Base strategy: memory model + step-plan compiler."""
 
     name = "base"
     #: Whether optimizer state / master weights / gradients are sharded.
     sharded = False
 
-    # -- memory model --------------------------------------------------------
+    # -- batch placement ---------------------------------------------------
+    def rank_batch(self, global_batch: int, world_size: int) -> int:
+        """Samples one rank processes per step (data-parallel default)."""
+        if global_batch % world_size != 0:
+            raise ValueError(
+                f"global batch {global_batch} not divisible by "
+                f"world size {world_size}")
+        return global_batch // world_size
+
+    def input_ranks(self, world_size: int) -> tuple:
+        """Ranks the dataloader must feed (all of them under DP)."""
+        return tuple(range(world_size))
+
+    # -- memory model ------------------------------------------------------
     def memory_per_gpu(self, model: ModelGraph, policy: PrecisionPolicy,
                        batch_per_gpu: int, world_size: int) -> float:
         """Bytes of device memory one replica needs."""
@@ -157,49 +200,62 @@ class ParallelStrategy:
         """Largest per-GPU batch that fits in device memory."""
         fixed = self.memory_per_gpu(model, policy, 0, world_size)
         free = gpu_memory_bytes - fixed
-        per_sample = (model.activation_bytes_per_sample(policy.compute)
-                      * activation_factor(model))
+        # Marginal activation cost of one sample under *this* strategy's
+        # memory model (pipeline stages, e.g., hold only their share).
+        per_sample = self.memory_per_gpu(model, policy, 1,
+                                         world_size) - fixed
         if free <= 0 or per_sample <= 0:
             return 0
         return int(free / per_sample)
 
-    # -- step schedule ----------------------------------------------------------
-    def run_step(self, env, comm: Communicator, gpus: list[GPU], rank: int,
-                 costs: StepCosts, accumulation: int = 1,
-                 tracer: Tracer = NULL_TRACER, track: Track = None):
-        """Generator: compute + communication for one optimizer step.
+    # -- step compiler -----------------------------------------------------
+    def compile_step(self, ctx: CompileContext) -> StepPlan:
+        """Compile one optimizer step into a :class:`StepPlan`.
 
-        ``costs`` describes one *micro-batch*; with ``accumulation > 1``
-        the strategy runs that many forward/backward passes, synchronizing
-        gradients only on the last one (PyTorch's ``no_sync()`` pattern).
-        Called after the rank's H2D input copy has completed.  ``tracer``
-        and ``track`` record per-phase spans (no-op by default).
+        ``ctx.costs`` describes one *micro-batch*; with
+        ``ctx.accumulation > 1`` the plan contains that many
+        forward/backward passes, synchronizing gradients only on the
+        last one (PyTorch's ``no_sync()`` pattern).  The plan starts
+        after the rank's H2D input copy has completed.
         """
         raise NotImplementedError
 
-    # -- shared kernels -----------------------------------------------------------
-    def _forward(self, gpus, rank, costs):
-        return gpus[rank].compute(costs.forward_flops
-                                  * costs.jitter_factor(),
-                                  costs.forward_hbm_bytes,
-                                  costs.policy.compute, costs.efficiency)
+    # -- shared plan fragments ---------------------------------------------
+    def _compute_op(self, b: PlanBuilder, rank: int, name: str,
+                    costs: StepCosts, flops: float, hbm_bytes: float,
+                    deps=()) -> str:
+        return b.compute(rank, name, flops=flops, hbm_bytes=hbm_bytes,
+                         precision=costs.policy.compute,
+                         efficiency=costs.efficiency, jittered=True,
+                         deps=deps)
 
-    def _backward(self, gpus, rank, costs):
-        return gpus[rank].compute(costs.backward_flops
-                                  * costs.jitter_factor(),
-                                  costs.backward_hbm_bytes,
-                                  costs.policy.compute, costs.efficiency)
+    def _forward_op(self, b, rank, costs, deps=()) -> str:
+        return self._compute_op(b, rank, "forward", costs,
+                                costs.forward_flops,
+                                costs.forward_hbm_bytes, deps)
 
-    def _optimizer(self, gpus, rank, costs, shard: float = 1.0):
+    def _backward_op(self, b, rank, costs, deps=()) -> str:
+        return self._compute_op(b, rank, "backward", costs,
+                                costs.backward_flops,
+                                costs.backward_hbm_bytes, deps)
+
+    def _optimizer_op(self, b: PlanBuilder, rank: int, costs: StepCosts,
+                      deps=(), shard: float = 1.0) -> str:
         params = costs.model.params * shard
         # Adam: read/update weights, master, moments (~20 bytes/param);
         # trivially few FLOPs, so the kernel is HBM-bound.
-        return gpus[rank].compute(5.0 * params, 20.0 * params,
-                                  Precision.FP32, 0.9)
+        return b.compute(rank, "optimizer", flops=5.0 * params,
+                         hbm_bytes=20.0 * params,
+                         precision=Precision.FP32, efficiency=0.9,
+                         deps=deps)
 
-    def _step_overhead(self, env, costs, base_time: float):
-        overhead = costs.policy.step_overhead * base_time
-        return env.timeout(overhead)
+    def _overhead_op(self, b: PlanBuilder, rank: int, costs: StepCosts,
+                     deps=()) -> str:
+        # PyTorch's per-step framework overhead scales with step length;
+        # the executor resolves the elapsed fraction at run time.
+        return b.delay(rank, "step-overhead",
+                       elapsed_fraction=costs.policy.step_overhead,
+                       deps=deps)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__}>"
@@ -213,38 +269,41 @@ class DataParallel(ParallelStrategy):
     def __init__(self, master_rank: int = 0):
         self.master_rank = master_rank
 
-    def run_step(self, env, comm, gpus, rank, costs, accumulation=1,
-                 tracer=NULL_TRACER, track=None):
-        t0 = env.now
-        # Master replicates parameters to every GPU, every iteration.
-        with tracer.span("broadcast-wait", Category.COMM, track,
-                         bytes=costs.weight_bytes):
-            yield comm.broadcast(rank, costs.weight_bytes,
-                                 root=self.master_rank)
-        for _ in range(accumulation):
-            with tracer.span("forward", Category.COMPUTE, track):
-                yield self._forward(gpus, rank, costs)
-            with tracer.span("backward", Category.COMPUTE, track):
-                yield self._backward(gpus, rank, costs)
-        # All gradients funnel into the master (no overlap in DP).
-        with tracer.span("grad-reduce", Category.COMM, track,
-                         bytes=costs.gradient_bytes):
-            yield comm.reduce(rank, costs.gradient_bytes,
-                              root=self.master_rank)
-        if rank == self.master_rank:
-            with tracer.span("optimizer", Category.COMPUTE, track):
-                yield self._optimizer(gpus, rank, costs)
-        # Everyone waits for the master's update before the next iteration.
-        with tracer.span("sync-barrier", Category.STALL, track):
-            yield comm.barrier(rank)
-        with tracer.span("step-overhead", Category.COMPUTE, track):
-            yield self._step_overhead(env, costs, env.now - t0)
+    def compile_step(self, ctx: CompileContext) -> StepPlan:
+        costs = ctx.costs
+        b = PlanBuilder(f"{self.name}-step", ctx.world_size,
+                        meta={"strategy": self.name})
+        b.declare_conservation("weights",
+                               ctx.world_size * costs.weight_bytes)
+        b.declare_conservation("gradients",
+                               ctx.world_size * costs.gradient_bytes)
+        for rank in range(ctx.world_size):
+            # Master replicates parameters to every GPU, every iteration.
+            prev = b.collective(rank, "broadcast-wait", "broadcast",
+                                costs.weight_bytes, root=self.master_rank,
+                                payload="weights")
+            for _ in range(ctx.accumulation):
+                prev = self._forward_op(b, rank, costs, deps=[prev])
+                prev = self._backward_op(b, rank, costs, deps=[prev])
+            # All gradients funnel into the master (no overlap in DP).
+            prev = b.collective(rank, "grad-reduce", "reduce",
+                                costs.gradient_bytes,
+                                root=self.master_rank, deps=[prev],
+                                payload="gradients")
+            if rank == self.master_rank:
+                prev = self._optimizer_op(b, rank, costs, deps=[prev])
+            # Everyone waits for the master's update before continuing.
+            prev = b.barrier(rank, "sync-barrier", deps=[prev])
+            self._overhead_op(b, rank, costs, deps=[prev])
+        return b.build()
 
 
 class DistributedDataParallel(ParallelStrategy):
     """DDP: bucketed ring allreduce overlapped with the backward pass."""
 
     name = "ddp"
+    #: Collective the gradient buckets use.
+    _bucket_collective = "allreduce"
 
     def __init__(self, bucket_bytes: float = DEFAULT_BUCKET_BYTES):
         if bucket_bytes <= 0:
@@ -264,56 +323,50 @@ class DistributedDataParallel(ParallelStrategy):
             plan.append((frac * backward_time, per))
         return plan
 
-    def _sync_bucket(self, env, comm, rank, delay, nbytes):
-        yield env.timeout(delay)
-        yield self._collective(comm, rank, nbytes)
+    def compile_step(self, ctx: CompileContext) -> StepPlan:
+        costs = ctx.costs
+        b = PlanBuilder(f"{self.name}-step", ctx.world_size,
+                        meta={"strategy": self.name,
+                              "bucket_bytes": self.bucket_bytes})
+        self._declare_conservation(b, ctx)
+        for rank in range(ctx.world_size):
+            prev = None
+            # Accumulation micro-steps run without gradient sync
+            # (no_sync()).
+            for _ in range(max(0, ctx.accumulation - 1)):
+                prev = self._forward_op(b, rank, costs,
+                                        deps=[prev] if prev else ())
+                prev = self._backward_op(b, rank, costs, deps=[prev])
+            fwd = self._forward_op(b, rank, costs,
+                                   deps=[prev] if prev else ())
+            bwd = self._backward_op(b, rank, costs, deps=[fwd])
+            # Bucket i's gradients exist a known fraction into the
+            # backward kernel; each bucket's collective is gated on an
+            # untraced delay anchored at the same instant backward
+            # starts, so the allreduce overlaps the kernel exactly as
+            # DDP's autograd hooks make it.
+            joins = [bwd]
+            backward_time = ctx.backward_seconds(rank)
+            for i, (ready, nbytes) in enumerate(
+                    self._bucket_plan(costs, backward_time)):
+                gate = b.delay(rank, f"bucket{i}-ready", seconds=ready,
+                               deps=[fwd], traced=False)
+                joins.append(
+                    b.collective(rank, "grad-bucket",
+                                 self._bucket_collective, nbytes,
+                                 deps=[gate], payload="gradients"))
+            prev = self._compile_post_sync(b, rank, ctx, deps=joins)
+            self._overhead_op(b, rank, costs, deps=[prev])
+        return b.build()
 
-    def _collective(self, comm, rank, nbytes):
-        return comm.allreduce(rank, nbytes)
+    def _declare_conservation(self, b: PlanBuilder,
+                              ctx: CompileContext) -> None:
+        b.declare_conservation(
+            "gradients", ctx.world_size * ctx.costs.gradient_bytes)
 
-    def run_step(self, env, comm, gpus, rank, costs, accumulation=1,
-                 tracer=NULL_TRACER, track=None):
-        t0 = env.now
-        # Accumulation micro-steps run without gradient sync (no_sync()).
-        for _ in range(max(0, accumulation - 1)):
-            with tracer.span("forward", Category.COMPUTE, track):
-                yield self._forward(gpus, rank, costs)
-            with tracer.span("backward", Category.COMPUTE, track):
-                yield self._backward(gpus, rank, costs)
-        with tracer.span("forward", Category.COMPUTE, track):
-            yield self._forward(gpus, rank, costs)
-        backward_time = gpus[rank].kernel_time(
-            costs.backward_flops, costs.backward_hbm_bytes,
-            costs.policy.compute, costs.efficiency)
-        backward = self._backward(gpus, rank, costs)
-        buckets = [
-            env.process(self._sync_bucket(env, comm, rank, ready, nbytes))
-            for ready, nbytes in self._bucket_plan(costs, backward_time)
-        ]
-        t_b0 = env.now
-        yield env.all_of([backward] + buckets)
-        # The backward kernel and the bucketed allreduce overlap; the
-        # kernel process returns its actual duration, so the region splits
-        # retroactively into compute and *exposed* (non-overlapped) comm.
-        if tracer.enabled and track is not None:
-            kernel_s = backward.value if backward.value is not None \
-                else backward_time
-            b_end = min(t_b0 + kernel_s, env.now)
-            tracer.complete("backward", Category.COMPUTE, track, t_b0,
-                            b_end, overlapped_comm=True)
-            if env.now - b_end > 1e-12:
-                tracer.complete("exposed-sync", Category.COMM, track,
-                                b_end, env.now,
-                                bytes=costs.gradient_bytes)
-        yield from self._post_sync(env, comm, gpus, rank, costs,
-                                   tracer=tracer, track=track)
-        with tracer.span("step-overhead", Category.COMPUTE, track):
-            yield self._step_overhead(env, costs, env.now - t0)
-
-    def _post_sync(self, env, comm, gpus, rank, costs,
-                   tracer=NULL_TRACER, track=None):
-        with tracer.span("optimizer", Category.COMPUTE, track):
-            yield self._optimizer(gpus, rank, costs)
+    def _compile_post_sync(self, b: PlanBuilder, rank: int,
+                           ctx: CompileContext, deps) -> str:
+        return self._optimizer_op(b, rank, ctx.costs, deps=deps)
 
 
 class ShardedDataParallel(DistributedDataParallel):
@@ -321,17 +374,145 @@ class ShardedDataParallel(DistributedDataParallel):
 
     name = "sharded"
     sharded = True
+    _bucket_collective = "reduce_scatter"
 
-    def _collective(self, comm, rank, nbytes):
-        return comm.reduce_scatter(rank, nbytes)
+    def _declare_conservation(self, b: PlanBuilder,
+                              ctx: CompileContext) -> None:
+        super()._declare_conservation(b, ctx)
+        b.declare_conservation(
+            "weights", ctx.world_size * ctx.costs.weight_bytes)
 
-    def _post_sync(self, env, comm, gpus, rank, costs,
-                   tracer=NULL_TRACER, track=None):
+    def _compile_post_sync(self, b: PlanBuilder, rank: int,
+                           ctx: CompileContext, deps) -> str:
         # Each rank updates only its 1/N shard, then re-materializes the
         # full parameter set via all-gather.
-        with tracer.span("optimizer", Category.COMPUTE, track):
-            yield self._optimizer(gpus, rank, costs,
-                                  shard=1.0 / comm.world_size)
-        with tracer.span("allgather-wait", Category.COMM, track,
-                         bytes=costs.weight_bytes):
-            yield comm.allgather(rank, costs.weight_bytes)
+        opt = self._optimizer_op(b, rank, ctx.costs, deps=deps,
+                                 shard=1.0 / ctx.world_size)
+        return b.collective(rank, "allgather-wait", "all_gather",
+                            ctx.costs.weight_bytes, deps=[opt],
+                            payload="weights")
+
+
+class PipelineParallel(ParallelStrategy):
+    """GPipe-style pipeline parallelism, expressed purely as a compiler.
+
+    The model's layers are split into one *stage* per GPU; the global
+    batch is split into micro-batches that flow through the stages
+    (all forwards, then all backwards in reverse — GPipe's schedule, with
+    its characteristic (S-1)/(M+S-1) bubble).  Stage-boundary activation
+    and gradient hand-offs are explicit :class:`~repro.plan.P2PCopy` ops
+    with cross-rank dependencies — nothing here touches the executor,
+    which is the point: a scheduling idea is a plan-construction pass.
+    """
+
+    name = "pipeline"
+
+    def __init__(self, microbatches: int = 8):
+        if microbatches < 1:
+            raise ValueError("microbatches must be >= 1")
+        self.microbatches = microbatches
+
+    # -- batch placement ---------------------------------------------------
+    def rank_batch(self, global_batch: int, world_size: int) -> int:
+        """Every sample visits every stage: ranks see the full batch."""
+        if global_batch % self.microbatches != 0:
+            raise ValueError(
+                f"global batch {global_batch} not divisible by "
+                f"{self.microbatches} microbatches")
+        return global_batch
+
+    def input_ranks(self, world_size: int) -> tuple:
+        """Only the first stage ingests data."""
+        return (0,)
+
+    # -- memory model ------------------------------------------------------
+    def memory_per_gpu(self, model: ModelGraph, policy: PrecisionPolicy,
+                       batch_per_gpu: int, world_size: int) -> float:
+        """One stage's share: 1/S of weights, grads, optimizer state, and
+        of the batch's activations (GPipe stashes every micro-batch's
+        activations until its backward, so the full batch's worth is live
+        across the pipeline — each stage holding its layers' slice)."""
+        stages = max(1, world_size)
+        weights = model.weight_bytes(policy.compute)
+        grads = model.gradient_bytes(policy.compute)
+        if policy.compute is Precision.FP16 and policy.master_weights:
+            opt = model.params * 12.0
+        else:
+            opt = model.params * 8.0
+        activations = (model.activation_bytes_per_sample(policy.compute)
+                       * batch_per_gpu * activation_factor(model))
+        return (FRAMEWORK_OVERHEAD_BYTES
+                + (weights + grads + opt + activations) / stages)
+
+    # -- step compiler -----------------------------------------------------
+    def _boundary_bytes(self, costs: StepCosts, samples: float) -> float:
+        """Activation bytes crossing one stage boundary per micro-batch:
+        roughly one layer's output (per-sample activations / depth)."""
+        model = costs.model
+        per_layer = model.activation_bytes_per_sample(
+            costs.policy.compute) / max(1, model.depth)
+        return per_layer * samples
+
+    def compile_step(self, ctx: CompileContext) -> StepPlan:
+        costs = ctx.costs
+        stages = ctx.world_size
+        # Accumulation folds into the schedule: it is just more
+        # micro-batches through the same pipeline flush.
+        mb_total = self.microbatches * ctx.accumulation
+        # ``costs`` covers one accumulation micro-batch of the full
+        # model; one pipeline micro-batch on one stage is 1/(S*M) of the
+        # full-batch work (the accumulation factor cancels).
+        f_flops = costs.forward_flops / (stages * self.microbatches)
+        f_hbm = costs.forward_hbm_bytes / (stages * self.microbatches)
+        b_flops = costs.backward_flops / (stages * self.microbatches)
+        b_hbm = costs.backward_hbm_bytes / (stages * self.microbatches)
+        samples_mb = (costs.batch_per_gpu * ctx.accumulation) / mb_total
+        boundary = self._boundary_bytes(costs, samples_mb)
+
+        b = PlanBuilder(f"{self.name}-step", stages,
+                        meta={"strategy": self.name,
+                              "microbatches": mb_total})
+        if stages > 1:
+            b.declare_conservation(
+                "activations", 2.0 * (stages - 1) * mb_total * boundary)
+
+        # Pass 1: forwards flow down the pipeline; each stage's kernels
+        # serialize on its stream, each hand-off gates the next stage.
+        fwd: dict = {}
+        send_act: dict = {}
+        for rank in range(stages):
+            prev = None
+            for j in range(mb_total):
+                deps = [prev] if prev else []
+                if rank > 0:
+                    deps.append(send_act[rank - 1, j])
+                prev = self._compute_op(b, rank, f"forward-mb{j}", costs,
+                                        f_flops, f_hbm, deps=deps)
+                fwd[rank, j] = prev
+                if rank < stages - 1:
+                    send_act[rank, j] = b.p2p(
+                        rank, f"send-act-mb{j}", rank + 1, boundary,
+                        deps=[prev], label="pipe-act",
+                        payload="activations")
+
+        # Pass 2: backwards flow back up, last micro-batch first (GPipe);
+        # then each stage updates its own 1/S parameter shard.
+        send_grad: dict = {}
+        for rank in reversed(range(stages)):
+            prev = fwd[rank, mb_total - 1]
+            for j in reversed(range(mb_total)):
+                deps = [prev]
+                if rank < stages - 1:
+                    deps.append(send_grad[rank + 1, j])
+                prev = self._compute_op(b, rank, f"backward-mb{j}", costs,
+                                        b_flops, b_hbm, deps=deps)
+                if rank > 0:
+                    send_grad[rank, j] = b.p2p(
+                        rank, f"send-grad-mb{j}", rank - 1, boundary,
+                        deps=[prev], label="pipe-grad",
+                        payload="activations")
+            opt = self._optimizer_op(b, rank, costs, deps=[prev],
+                                     shard=1.0 / stages)
+            flush = b.barrier(rank, "pipeline-flush", deps=[opt])
+            self._overhead_op(b, rank, costs, deps=[flush])
+        return b.build()

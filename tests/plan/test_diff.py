@@ -1,0 +1,70 @@
+"""Plan differ: uid-matched add/remove/change detection and rendering."""
+
+from repro.devices.gpu import Precision
+from repro.plan import PlanBuilder, diff_plans, format_diff
+
+
+def _plan(grad_kind="allreduce", with_allgather=False, nbytes=1e6,
+          meta=None):
+    b = PlanBuilder("p", world_size=2, meta=meta)
+    for rank in range(2):
+        f = b.compute(rank, "forward", flops=1e9, hbm_bytes=1e6,
+                      precision=Precision.FP16, efficiency=0.5)
+        g = b.collective(rank, "grad", grad_kind, nbytes, deps=[f])
+        last = g
+        if with_allgather:
+            last = b.collective(rank, "allgather-wait", "all_gather",
+                                nbytes, deps=[g])
+        b.barrier(rank, "sync", deps=[last])
+    return b.build()
+
+
+class TestDiffPlans:
+    def test_identical(self):
+        diff = diff_plans(_plan(), _plan())
+        assert diff.identical
+        assert not diff.added and not diff.removed and not diff.changed
+
+    def test_added_and_removed(self):
+        diff = diff_plans(_plan(with_allgather=True), _plan())
+        assert sorted(diff.removed) == ["r0:allgather-wait",
+                                        "r1:allgather-wait"]
+        assert diff.added == []
+        # sync's deps changed because its predecessor disappeared.
+        assert any(c.uid == "r0:sync" and c.field == "deps"
+                   for c in diff.changed)
+
+    def test_field_changes(self):
+        diff = diff_plans(_plan("allreduce"), _plan("reduce_scatter"))
+        changes = {(c.uid, c.field): (c.a, c.b) for c in diff.changed}
+        assert changes[("r0:grad", "comm")] == ("allreduce",
+                                                "reduce_scatter")
+        assert changes[("r1:grad", "comm")] == ("allreduce",
+                                                "reduce_scatter")
+
+    def test_meta_changes(self):
+        diff = diff_plans(_plan(meta={"strategy": "ddp"}),
+                          _plan(meta={"strategy": "sharded"}))
+        assert diff.meta_changed == {"strategy": ("ddp", "sharded")}
+        assert not diff.identical
+
+
+class TestFormatDiff:
+    def test_identical_message(self):
+        a, b = _plan(), _plan()
+        assert "identical" in format_diff(diff_plans(a, b), a, b)
+
+    def test_sections_rendered(self):
+        a = _plan("allreduce", with_allgather=True)
+        b = _plan("reduce_scatter", nbytes=2e6)
+        text = format_diff(diff_plans(a, b), a, b)
+        assert text.startswith("diff 'p'")
+        assert "- [r0:allgather-wait]" in text
+        assert "~ r0:grad: comm 'allreduce' -> 'reduce_scatter'" in text
+        assert "~ r0:grad: bytes 1000000.0 -> 2000000.0" in text
+
+    def test_truncation(self):
+        a = _plan("allreduce")
+        b = _plan("reduce_scatter")
+        text = format_diff(diff_plans(a, b), a, b, limit=1)
+        assert "more" in text

@@ -1,0 +1,169 @@
+"""Plan validation passes: structure, cycles, symmetry, conservation."""
+
+import pytest
+
+from repro.devices.gpu import Precision
+from repro.plan import (
+    Barrier,
+    Compute,
+    PlanBuilder,
+    PlanValidationError,
+    StepPlan,
+    assert_valid,
+    validate_plan,
+)
+
+
+def _compute(b, rank, name, deps=(), efficiency=0.5):
+    return b.compute(rank, name, flops=1e9, hbm_bytes=1e6,
+                     precision=Precision.FP16, efficiency=efficiency,
+                     deps=deps)
+
+
+def _symmetric_plan(world=2):
+    b = PlanBuilder("sym", world_size=world)
+    for rank in range(world):
+        f = _compute(b, rank, "forward")
+        g = b.collective(rank, "grad", "allreduce", 1e6, deps=[f],
+                         payload="gradients")
+        b.barrier(rank, "sync", deps=[g])
+    b.declare_conservation("gradients", world * 1e6)
+    return b.build()
+
+
+class TestValidatePlan:
+    def test_clean_plan_has_no_problems(self):
+        assert validate_plan(_symmetric_plan()) == []
+
+    def test_assert_valid_returns_the_plan(self):
+        plan = _symmetric_plan()
+        assert assert_valid(plan) is plan
+
+    def test_assert_valid_raises_with_problem_list(self):
+        b = PlanBuilder("bad", world_size=1)
+        _compute(b, 0, "forward", efficiency=7.0)
+        with pytest.raises(PlanValidationError, match="implausible"):
+            assert_valid(b.build())
+
+
+class TestStructurePass:
+    def test_out_of_range_rank(self):
+        op = Compute(uid="r5:x", rank=5, name="x", deps=(), flops=1.0,
+                     hbm_bytes=0.0, precision=Precision.FP16,
+                     efficiency=0.5)
+        problems = validate_plan(StepPlan("p", 2, [op]))
+        assert any("rank 5 out of range" in p for p in problems)
+
+    def test_self_dependency(self):
+        op = Barrier(uid="r0:b", rank=0, name="b", deps=("r0:b",))
+        problems = validate_plan(StepPlan("p", 1, [op]))
+        assert any("depends on itself" in p for p in problems)
+
+    def test_implausible_efficiency(self):
+        b = PlanBuilder("p", world_size=1)
+        _compute(b, 0, "forward", efficiency=2.0)
+        problems = validate_plan(b.build())
+        assert any("implausible efficiency" in p for p in problems)
+
+    def test_collective_root_out_of_range(self):
+        b = PlanBuilder("p", world_size=2)
+        for rank in range(2):
+            b.collective(rank, "bc", "broadcast", 1e6, root=9)
+        problems = validate_plan(b.build())
+        assert any("root 9 out of range" in p for p in problems)
+
+
+class TestCyclePass:
+    def test_dependency_cycle_detected(self):
+        a = Barrier(uid="r0:a", rank=0, name="a", deps=("r0:b",))
+        c = Barrier(uid="r0:b", rank=0, name="b", deps=("r0:a",))
+        problems = validate_plan(StepPlan("p", 1, [a, c]))
+        assert any("cycle" in p for p in problems)
+
+    def test_cross_rank_dag_is_fine(self):
+        # Pipeline-style hand-off: r1 waits on r0's op.
+        b = PlanBuilder("pipe", world_size=2)
+        f0 = _compute(b, 0, "fwd")
+        send = b.p2p(0, "send", 1, 1e6, deps=[f0])
+        _compute(b, 1, "fwd", deps=[send])
+        assert validate_plan(b.build()) == []
+
+
+class TestRankSymmetryPass:
+    def test_count_mismatch(self):
+        b = PlanBuilder("p", world_size=2)
+        b.collective(0, "grad", "allreduce", 1e6)
+        problems = validate_plan(b.build())
+        assert any("rank 1 issues 0" in p for p in problems)
+
+    def test_kind_divergence_in_slot(self):
+        b = PlanBuilder("p", world_size=2)
+        b.collective(0, "grad", "allreduce", 1e6)
+        b.collective(1, "grad", "reduce_scatter", 1e6)
+        problems = validate_plan(b.build())
+        assert any("slot 0 diverges" in p for p in problems)
+
+    def test_bytes_divergence_in_slot(self):
+        b = PlanBuilder("p", world_size=2)
+        b.collective(0, "grad", "allreduce", 1e6)
+        b.collective(1, "grad", "allreduce", 2e6)
+        problems = validate_plan(b.build())
+        assert any("slot 0 diverges" in p for p in problems)
+
+
+class TestConservationPass:
+    def test_sum_mismatch_flagged(self):
+        b = PlanBuilder("p", world_size=2)
+        for rank in range(2):
+            b.collective(rank, "grad", "allreduce", 1e6,
+                         payload="gradients")
+        b.declare_conservation("gradients", 3e6)  # plan only carries 2e6
+        problems = validate_plan(b.build())
+        assert any("bytes-conservation" in p and "gradients" in p
+                   for p in problems)
+
+    def test_tagged_payload_without_declaration_flagged(self):
+        b = PlanBuilder("p", world_size=1)
+        b.h2d(0, "in", 1e6, payload="inputs")
+        b.declare_conservation("gradients", 0.0)
+        problems = validate_plan(b.build())
+        assert any("no declared total" in p for p in problems)
+
+    def test_within_relative_tolerance(self):
+        b = PlanBuilder("p", world_size=1)
+        b.collective(0, "grad", "allreduce", 1e6 * (1 + 1e-9),
+                     payload="gradients")
+        b.declare_conservation("gradients", 1e6)
+        assert validate_plan(b.build()) == []
+
+
+class TestCompiledStrategyPlans:
+    """The real compilers must emit plans every pass accepts."""
+
+    @pytest.mark.parametrize("strategy_name",
+                             ["dp", "ddp", "sharded", "pipeline"])
+    def test_all_strategies_validate(self, strategy_name):
+        from repro.core import ComposableSystem
+        from repro.training import (
+            DataParallel,
+            DistributedDataParallel,
+            PipelineParallel,
+            ShardedDataParallel,
+            TrainingConfig,
+            TrainingJob,
+        )
+        classes = {"dp": DataParallel, "ddp": DistributedDataParallel,
+                   "sharded": ShardedDataParallel,
+                   "pipeline": PipelineParallel}
+        from repro.workloads import get_benchmark
+
+        system = ComposableSystem()
+        active = system.configure("localGPUs")
+        config = TrainingConfig(benchmark=get_benchmark("bert-large"),
+                                strategy=classes[strategy_name]())
+        job = TrainingJob(system.env, system.topology, system.host,
+                          list(active.gpus), active.storage, config)
+        assert validate_plan(job.step_plan) == []
+        assert job.step_plan.meta["strategy"] == strategy_name
+        # The checkpoint program must be clean too.
+        assert validate_plan(job.checkpoint_plan) == []

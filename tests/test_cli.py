@@ -143,3 +143,29 @@ class TestTraceCommand:
         from repro.telemetry import validate_chrome_trace
         assert validate_chrome_trace(
             json.loads(out_path.read_text())) == []
+
+
+class TestPlanCommand:
+    def test_prints_the_compiled_program(self, capsys):
+        assert main(["plan", "bert-large"]) == 0
+        out = capsys.readouterr().out
+        assert "plan ddp-step  world=8" in out
+        assert "rank 0:" in out and "rank 7:" in out
+        assert "grad-bucket" in out
+
+    def test_validate_clean_plan_exits_zero(self, capsys):
+        assert main(["plan", "bert-large", "--strategy", "pipeline",
+                     "--validate"]) == 0
+        assert "plan OK" in capsys.readouterr().out
+
+    def test_diff_lists_strategy_divergence(self, capsys):
+        assert main(["plan", "bert-large", "--strategy", "ddp",
+                     "--diff", "sharded"]) == 0
+        out = capsys.readouterr().out
+        assert "'allreduce' -> 'reduce_scatter'" in out
+        assert "allgather-wait" in out
+
+    def test_validates_strategy_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["plan", "bert-large", "--strategy", "fsdp"])

@@ -1,0 +1,44 @@
+"""TrainingConfig rejects nonsense at construction, not mid-simulation."""
+
+import pytest
+
+from repro.training import TrainingConfig
+from repro.workloads import get_benchmark
+
+BENCH = get_benchmark("bert-large")
+
+
+class TestSimSteps:
+    @pytest.mark.parametrize("steps", [0, -1, -24])
+    def test_non_positive_rejected(self, steps):
+        with pytest.raises(ValueError, match="sim_steps must be a "
+                                             "positive step count"):
+            TrainingConfig(benchmark=BENCH, sim_steps=steps)
+
+    def test_positive_accepted(self):
+        assert TrainingConfig(benchmark=BENCH, sim_steps=1).sim_steps == 1
+
+
+class TestAccumulation:
+    @pytest.mark.parametrize("accum", [0, -3])
+    def test_sub_one_rejected(self, accum):
+        with pytest.raises(ValueError, match="accumulation_steps must "
+                                             "be >= 1"):
+            TrainingConfig(benchmark=BENCH, accumulation_steps=accum)
+
+    def test_error_names_the_value(self):
+        with pytest.raises(ValueError, match="got 0"):
+            TrainingConfig(benchmark=BENCH, accumulation_steps=0)
+
+
+class TestCheckpointInterval:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError,
+                           match="checkpoint_interval_steps"):
+            TrainingConfig(benchmark=BENCH, checkpoint_interval_steps=-1)
+
+    @pytest.mark.parametrize("interval", [None, 0, 5])
+    def test_none_disabled_and_cadence_accepted(self, interval):
+        config = TrainingConfig(benchmark=BENCH,
+                                checkpoint_interval_steps=interval)
+        assert config.checkpoint_interval_steps == interval

@@ -1,0 +1,86 @@
+"""ZeRO-style memory math: partitioned optimizer state (paper Fig. 14).
+
+``ShardedDataParallel`` divides optimizer state and gradients across the
+data-parallel group; these tests check the arithmetic against the DDP
+baseline term by term, and pin the headline Fig. 14 consequence: the
+per-GPU BERT-large batch rises from 6 to 10 on 16 GB V100s.
+"""
+
+import pytest
+
+from repro.devices.gpu import V100_PCIE_16GB
+from repro.training import (
+    AMP_POLICY,
+    DistributedDataParallel,
+    FP32_POLICY,
+    ShardedDataParallel,
+)
+from repro.workloads import bert_large
+
+BERT = bert_large()
+CAP = V100_PCIE_16GB.memory_bytes
+WORLD = 8
+
+
+class TestPartitionedState:
+    def test_saving_is_exactly_the_partitioned_fraction(self):
+        # AMP keeps FP32 master weights + two Adam moments (12 B/param)
+        # and FP16 gradients (2 B/param); sharding splits both W ways.
+        ddp = DistributedDataParallel()
+        sharded = ShardedDataParallel()
+        m_ddp = ddp.memory_per_gpu(BERT, AMP_POLICY, 6, WORLD)
+        m_sh = sharded.memory_per_gpu(BERT, AMP_POLICY, 6, WORLD)
+        partitioned = BERT.params * 12.0 + BERT.gradient_bytes(
+            AMP_POLICY.compute)
+        expected_saving = partitioned * (WORLD - 1) / WORLD
+        assert m_ddp - m_sh == pytest.approx(expected_saving, rel=1e-12)
+
+    def test_fp32_partitions_eight_bytes_per_param(self):
+        # FP32 has no separate master copy: just two Adam moments.
+        ddp = DistributedDataParallel()
+        sharded = ShardedDataParallel()
+        m_ddp = ddp.memory_per_gpu(BERT, FP32_POLICY, 2, WORLD)
+        m_sh = sharded.memory_per_gpu(BERT, FP32_POLICY, 2, WORLD)
+        partitioned = BERT.params * 8.0 + BERT.gradient_bytes(
+            FP32_POLICY.compute)
+        assert m_ddp - m_sh == pytest.approx(
+            partitioned * (WORLD - 1) / WORLD, rel=1e-12)
+
+    def test_saving_grows_with_world_size(self):
+        sharded = ShardedDataParallel()
+        footprints = [sharded.memory_per_gpu(BERT, AMP_POLICY, 6, w)
+                      for w in (2, 4, 8, 16)]
+        assert footprints == sorted(footprints, reverse=True)
+
+    def test_world_size_one_shards_nothing(self):
+        ddp = DistributedDataParallel()
+        sharded = ShardedDataParallel()
+        assert sharded.memory_per_gpu(BERT, AMP_POLICY, 6, 1) == \
+            ddp.memory_per_gpu(BERT, AMP_POLICY, 6, 1)
+
+    def test_activations_are_not_sharded(self):
+        # Marginal cost of one extra sample is identical: only the
+        # *static* state is partitioned.
+        ddp = DistributedDataParallel()
+        sharded = ShardedDataParallel()
+        d = ddp.memory_per_gpu(BERT, AMP_POLICY, 7, WORLD) \
+            - ddp.memory_per_gpu(BERT, AMP_POLICY, 6, WORLD)
+        s = sharded.memory_per_gpu(BERT, AMP_POLICY, 7, WORLD) \
+            - sharded.memory_per_gpu(BERT, AMP_POLICY, 6, WORLD)
+        assert d == pytest.approx(s, rel=1e-12)
+
+
+class TestMaxBatch:
+    def test_fig14_bert_large_6_to_10(self):
+        ddp = DistributedDataParallel()
+        sharded = ShardedDataParallel()
+        assert ddp.max_batch_per_gpu(BERT, AMP_POLICY, CAP, WORLD) == 6
+        assert sharded.max_batch_per_gpu(BERT, AMP_POLICY, CAP, WORLD) == 10
+
+    def test_max_batch_actually_fits_and_next_does_not(self):
+        sharded = ShardedDataParallel()
+        batch = sharded.max_batch_per_gpu(BERT, AMP_POLICY, CAP, WORLD)
+        assert sharded.memory_per_gpu(BERT, AMP_POLICY, batch, WORLD) \
+            <= CAP
+        assert sharded.memory_per_gpu(BERT, AMP_POLICY, batch + 1,
+                                      WORLD) > CAP
