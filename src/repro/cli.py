@@ -21,6 +21,8 @@ Usage::
     python -m repro plan <benchmark> [--strategy dp|ddp|sharded|pipeline]
                                      [--config NAME] [--validate]
                                      [--diff OTHER-STRATEGY]
+                                     [--opt PASS[,PASS...]|all]
+    python -m repro fig16-opt [--steps N] [--trace-out trace.json]
 
 Every command prints the same rows the paper's tables/figures report.
 ``trace`` writes a Chrome/Perfetto ``trace_event`` JSON (open in
@@ -124,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "trace_event schema; non-zero exit on "
                             "violations")
 
+    fig16 = sub.add_parser(
+        "fig16-opt", help="fig16 DDP variant with the optimizing plan "
+                          "passes: exposed-sync closing the falcon gap")
+    fig16.add_argument("--steps", type=int, default=6,
+                       help="simulated optimizer steps per run")
+    fig16.add_argument("--trace-out", default=None,
+                       help="write a Chrome trace of the optimized run")
+
     plan = sub.add_parser(
         "plan", help="compile one training step to the plan IR and "
                      "print it without simulating")
@@ -139,7 +149,12 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--diff", default=None, choices=PLAN_STRATEGIES,
                       metavar="OTHER",
                       help="also compile OTHER strategy's plan and print "
-                           "an op-level diff against it")
+                           "an op-level diff against it (the same --opt "
+                           "pipeline is applied to both sides)")
+    plan.add_argument("--opt", default=None, metavar="PASS[,PASS...]",
+                      help="apply optimization passes before printing: "
+                           "comma-separated pass names or 'all' "
+                           "(bucketing, overlap, copy-fusion, chunk-size)")
     return parser
 
 
@@ -270,6 +285,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ddp = time_reduction_pct(study["localGPUs"]["DDP-FP32"],
                                  study["localGPUs"]["DDP-FP16"])
         out(f"FP16 over FP32 (DDP, local): {ddp:.1f}% reduction\n")
+        return 0
+
+    if args.command == "fig16-opt":
+        from .experiments import optimized_ddp_study
+        study = optimized_ddp_study(sim_steps=args.steps,
+                                    trace_out=args.trace_out)
+        rows = []
+        for name, profile in study.profiles.items():
+            rows.append((name, round(profile.step_time * 1e3, 3),
+                         round(profile.exposed_sync * 1e3, 3),
+                         round(study.sync_reduction_pct(name), 1),
+                         round(study.step_reduction_pct(name), 1)))
+        out(render_table(
+            ["Passes", "step ms", "exposed-sync ms", "sync cut %",
+             "step cut %"], rows,
+            title=f"{study.benchmark} DDP-FP16 on "
+                  f"{study.configuration}: optimizing plan passes")
+            + "\n")
+        if study.trace_path:
+            out(f"wrote optimized-run trace to {study.trace_path}\n")
         return 0
 
     if args.command == "sharing":
@@ -478,23 +513,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "pipeline": PipelineParallel,
         }
 
+        if args.opt:
+            from .plan.passes import PassError, resolve_passes
+            try:
+                resolve_passes(args.opt)
+            except PassError as exc:
+                out(f"error: {exc}\n")
+                return 2
+
         def compile_plan(strategy_name):
             # A fresh system per compile: TrainingJob's constructor does
-            # the whole compile (costs, memory checks, plan) without
-            # advancing the simulation, so nothing is ever run.
+            # the whole compile (costs, memory checks, plan, passes)
+            # without advancing the simulation, so nothing is ever run.
             system = ComposableSystem()
             active = system.configure(args.config)
             config = TrainingConfig(
                 benchmark=get_benchmark(args.benchmark),
                 strategy=strategy_classes[strategy_name](),
                 global_batch=args.global_batch,
+                plan_passes=args.opt,
             )
             job = TrainingJob(system.env, system.topology, system.host,
                               list(active.gpus), active.storage, config)
-            return job.step_plan
+            return job
 
-        plan = compile_plan(args.strategy)
+        job = compile_plan(args.strategy)
+        plan = job.step_plan
         out(format_plan(plan) + "\n")
+        for report in job.pass_reports:
+            out(f"pass {report.summary()}\n")
         status = 0
         if args.validate:
             problems = validate_plan(plan)
@@ -507,7 +554,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "cycle, rank-symmetry, and bytes-conservation "
                     "passes\n")
         if args.diff:
-            other = compile_plan(args.diff)
+            other = compile_plan(args.diff).step_plan
             out("\n" + format_diff(diff_plans(plan, other), plan, other)
                 + "\n")
         return status

@@ -74,6 +74,7 @@ from .stragglers import StragglerPoint, straggler_amplification_study
 from .software_opts import (
     OptVariant,
     VARIANTS,
+    optimized_ddp_study,
     software_optimization_study,
     time_reduction_pct,
 )
@@ -105,6 +106,7 @@ __all__ = [
     "gpu_utilization_trace",
     "UtilizationTrace",
     "count_dips",
+    "optimized_ddp_study",
     "software_optimization_study",
     "OptVariant",
     "VARIANTS",

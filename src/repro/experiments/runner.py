@@ -87,8 +87,12 @@ def run_configuration(benchmark: str, configuration: str,
                       sim_checkpoints: int = 1,
                       system: Optional[ComposableSystem] = None,
                       tracer=None,
-                      ) -> ExperimentRecord:
-    """Run one benchmark on one configuration and collect all metrics."""
+                      **train_kwargs) -> ExperimentRecord:
+    """Run one benchmark on one configuration and collect all metrics.
+
+    Extra keyword arguments (e.g. ``plan_passes``, ``accumulation_steps``)
+    are forwarded verbatim into the :class:`TrainingConfig`.
+    """
     system = system or ComposableSystem()
     result = system.train(
         benchmark,
@@ -99,6 +103,7 @@ def run_configuration(benchmark: str, configuration: str,
         sim_steps=sim_steps,
         sim_checkpoints=sim_checkpoints,
         tracer=tracer,
+        **train_kwargs,
     )
     collector = result.collector
     windows = result.steady_windows()

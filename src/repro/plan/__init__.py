@@ -32,6 +32,16 @@ from .ir import (
 from .validate import PlanValidationError, assert_valid, validate_plan
 from .diff import PlanDiff, diff_plans, format_diff
 from .executor import ExecutionContext, PlanExecution
+from .passes import (
+    DEFAULT_PIPELINE,
+    PASS_REGISTRY,
+    PassContext,
+    PassError,
+    PassManager,
+    PassReport,
+    PlanPass,
+    resolve_passes,
+)
 
 __all__ = [
     "Op",
@@ -56,4 +66,12 @@ __all__ = [
     "format_diff",
     "ExecutionContext",
     "PlanExecution",
+    "PlanPass",
+    "PassContext",
+    "PassError",
+    "PassManager",
+    "PassReport",
+    "PASS_REGISTRY",
+    "DEFAULT_PIPELINE",
+    "resolve_passes",
 ]

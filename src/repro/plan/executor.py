@@ -186,16 +186,20 @@ class PlanExecution:
 
     def _join_collective(self, op):
         comm = self.ctx.comm
+        chunk = op.chunk_bytes
         if op.comm == "allreduce":
-            return comm.allreduce(op.rank, op.bytes)
+            return comm.allreduce(op.rank, op.bytes, chunk_bytes=chunk)
         if op.comm == "reduce_scatter":
-            return comm.reduce_scatter(op.rank, op.bytes)
+            return comm.reduce_scatter(op.rank, op.bytes,
+                                       chunk_bytes=chunk)
         if op.comm == "all_gather":
-            return comm.allgather(op.rank, op.bytes)
+            return comm.allgather(op.rank, op.bytes, chunk_bytes=chunk)
         if op.comm == "broadcast":
-            return comm.broadcast(op.rank, op.bytes, root=op.root or 0)
+            return comm.broadcast(op.rank, op.bytes, root=op.root or 0,
+                                  chunk_bytes=chunk)
         if op.comm == "reduce":
-            return comm.reduce(op.rank, op.bytes, root=op.root or 0)
+            return comm.reduce(op.rank, op.bytes, root=op.root or 0,
+                               chunk_bytes=chunk)
         raise PlanError(f"unknown collective {op.comm!r}")
 
     # -- mechanical span derivation ---------------------------------------
@@ -239,6 +243,10 @@ def _span_attrs(op) -> dict:
     attrs = {}
     if op.bytes:
         attrs["bytes"] = op.bytes
+    if op.fused:
+        attrs["fused"] = op.fused
+    if getattr(op, "chunk_bytes", None) is not None:
+        attrs["chunk_bytes"] = op.chunk_bytes
     return attrs
 
 

@@ -74,10 +74,15 @@ class Op:
     #: Conservation-lint tag: which logical payload these bytes belong to
     #: (e.g. "gradients"); see ``StepPlan.meta["conservation"]``.
     payload: Optional[str] = None
+    #: How many compiler-emitted ops an optimization pass fused into this
+    #: one (0 = untouched by any pass; >= 2 after bucketing/copy fusion).
+    fused: int = 0
 
     def describe(self) -> str:
         """One-line rendering used by ``format_plan`` and the CLI."""
         extra = self._describe_extra()
+        if self.fused:
+            extra += f" fused={self.fused}"
         dep = ",".join(self.deps) if self.deps else "-"
         nbytes = f" {self.bytes / 1e6:.2f}MB" if self.bytes else ""
         return (f"[{self.uid}] {self.kind:<13} {self.name:<18}"
@@ -151,10 +156,16 @@ class Collective(Op):
     category: Category = Category.COMM
     comm: str = "allreduce"
     root: Optional[int] = None
+    #: Transport staging chunk size chosen by the chunk-sizing pass
+    #: (``None`` = communicator default); forwarded to the communicator,
+    #: whose transport penalty amortizes with larger chunks.
+    chunk_bytes: Optional[float] = None
 
     def _describe_extra(self) -> str:
         root = f" root={self.root}" if self.root is not None else ""
-        return f" {self.comm}{root}"
+        chunk = (f" chunk={self.chunk_bytes / 1e6:.1f}MB"
+                 if self.chunk_bytes is not None else "")
+        return f" {self.comm}{root}{chunk}"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,56 @@
+"""Optimizing plan-to-plan rewrites (the scheduling layer).
+
+Strategies compile *naive* step plans — one collective per gradient
+bucket at the compiler's conservative launch points, one copy per
+logical transfer, default transport staging.  The passes in this package
+rewrite those plans between ``compile_step`` and ``PlanExecution``,
+reproducing the software-level tuning axis of the paper's Fig. 16 (and
+the optimizing scheduling layer Maya/VirtualFlow-style emulated stacks
+put between model and hardware):
+
+- :class:`GradientBucketing` — fuse per-tensor/per-bucket collectives
+  into size-capped buckets (DDP ``bucket_cap_mb`` semantics);
+- :class:`OverlapScheduling` — re-anchor backward-phase collective
+  launches to the retirement of their producing compute slab, shrinking
+  exposed-sync;
+- :class:`CopyFusion` — merge chained H2D/D2H/P2P copies with identical
+  endpoints and elide zero-byte copies;
+- :class:`CollectiveChunkSizing` — topology-aware staging chunk sizes
+  picked from measured uplink vs NVLink bandwidth.
+
+Every pass is a pure function ``StepPlan -> StepPlan`` and must preserve
+the validation invariants (structure, acyclicity, rank symmetry, bytes
+conservation); :class:`PassManager` enforces that obligation by
+re-validating after every pass.  Unchanged ops keep their uids, so the
+uid-matched plan differ renders exactly what a pass did.
+"""
+
+from .manager import (
+    DEFAULT_PIPELINE,
+    PASS_REGISTRY,
+    PassContext,
+    PassError,
+    PassManager,
+    PassReport,
+    PlanPass,
+    resolve_passes,
+)
+from .bucketing import GradientBucketing
+from .overlap import OverlapScheduling
+from .copy_fusion import CopyFusion
+from .chunking import CollectiveChunkSizing
+
+__all__ = [
+    "PlanPass",
+    "PassContext",
+    "PassError",
+    "PassManager",
+    "PassReport",
+    "PASS_REGISTRY",
+    "DEFAULT_PIPELINE",
+    "resolve_passes",
+    "GradientBucketing",
+    "OverlapScheduling",
+    "CopyFusion",
+    "CollectiveChunkSizing",
+]

@@ -1,0 +1,167 @@
+"""Gradient bucketing: fuse per-bucket collectives up to a byte cap.
+
+Reproduces DDP's ``bucket_cap_mb`` semantics as a *plan rewrite*: runs
+of consecutive same-signature collectives (same kind, root, and payload
+tag — e.g. the compiler's per-bucket ``grad-bucket`` allreduces) are
+greedily fused into collectives of at most ``cap_bytes``.  Fewer
+collectives mean fewer ring phases, so less per-phase launch/rendezvous
+latency — the reason real DDP does not allreduce tensor-by-tensor.
+
+The default cap is 100 MB — deliberately 4x PyTorch's 25 MB default,
+which is what the strategy compilers already bucket at.  Tuning
+``bucket_cap_mb`` *up* is the standard remedy for latency-dominated
+fabrics: a composed PCIe/Falcon path pays its fixed per-phase cost ~14
+times per collective (ring allreduce over 8 ranks), so quartering the
+collective count quarters that latency bill while the bandwidth term is
+unchanged.  On NVLink the rewrite is close to neutral, which matches
+the paper's observation that software tuning matters most when the
+fabric is the bottleneck.
+
+Fusion is conservative about readiness: the fused collective depends on
+the *union* of its constituents' dependencies, so it launches only once
+every fused gradient exists (the last constituent's ready gate).  The
+:class:`~repro.plan.passes.overlap.OverlapScheduling` pass is the one
+that then re-times those launches.
+
+Correctness obligations (enforced by the pass manager's re-validation):
+
+- **rank symmetry** — grouping is decided once over rendezvous *slot
+  indices* (every rank issues the same ordered sync sequence in a valid
+  plan) and applied to the matching slots on every rank, so all ranks
+  fuse identically by construction;
+- **bytes conservation** — a fused op's bytes are the exact sum of its
+  constituents', under the same payload tag;
+- **acyclicity** — the fused op keeps the first constituent's uid, and a
+  slot only joins a group if, on every rank, no *non-member* op sits
+  between two members in the dependency order (such an op would become
+  both an ancestor and a descendant of the fused op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..ir import Barrier, Collective, StepPlan
+from .manager import PassContext, PassError, PlanPass, retarget_deps
+
+__all__ = ["GradientBucketing", "DEFAULT_CAP_BYTES"]
+
+#: Re-bucketing cap: 4x DDP's 25 MB default (see module docstring).
+DEFAULT_CAP_BYTES = 100e6
+
+
+def _signature(op: Collective) -> tuple:
+    """What must match for two collectives to share a bucket."""
+    return (op.comm, op.root, op.payload, op.category, op.traced)
+
+
+def _ancestors(plan: StepPlan) -> dict:
+    """uid -> set of all transitive dependency uids."""
+    anc: dict = {}
+    for op in plan.topo_order():
+        closure: set = set()
+        for dep in op.deps:
+            closure.add(dep)
+            closure |= anc[dep]
+        anc[op.uid] = closure
+    return anc
+
+
+def _sync_ops(plan: StepPlan, rank: int) -> list:
+    """This rank's collective/barrier ops in rendezvous-slot order."""
+    return [op for op in plan.by_rank(rank)
+            if isinstance(op, (Collective, Barrier))]
+
+
+class GradientBucketing(PlanPass):
+    """Fuse runs of adjacent same-signature collectives up to a cap."""
+
+    name = "bucketing"
+
+    def __init__(self, cap_bytes: float = DEFAULT_CAP_BYTES):
+        if cap_bytes <= 0:
+            raise PassError("cap_bytes must be positive")
+        self.cap_bytes = cap_bytes
+
+    def describe(self) -> str:
+        return f"bucketing(cap={self.cap_bytes / 1e6:g}MB)"
+
+    # -- grouping ----------------------------------------------------------
+    @staticmethod
+    def _fusable(slots, slot: int, group: list, anc: dict) -> bool:
+        """Would fusing slots ``group + [slot]`` stay acyclic on every
+        rank?  The fused op inherits every member's dependency edges (in
+        *and* out), so a non-member X with a member among its ancestors
+        *and* a member among its descendants would close a cycle through
+        the fused op."""
+        for rank_slots in slots:
+            members = {rank_slots[s].uid for s in group + [slot]}
+            outside: set = set()
+            for uid in members:
+                outside |= anc[uid] - members
+            if any(anc[a] & members for a in outside):
+                return False
+        return True
+
+    def _slot_groups(self, slots, anc: dict) -> list:
+        """Greedy size-capped grouping over rendezvous slot indices.
+
+        Only *consecutive* sync slots fuse (a barrier or a non-matching
+        collective in between ends the run), mirroring how DDP buckets
+        are contiguous slices of the reversed parameter list.  Decided
+        once from rank 0's sequence (identical on all ranks by the rank
+        symmetry invariant) with the acyclicity guard consulted on every
+        rank, so the result is rank-uniform by construction.
+        """
+        groups: list = []
+        current: list = []
+        total = 0.0
+        for slot, op in enumerate(slots[0]):
+            eligible = (isinstance(op, Collective) and op.bytes > 0
+                        and op.payload is not None)
+            if (eligible and current
+                    and _signature(op) == _signature(
+                        slots[0][current[-1]])
+                    and total + op.bytes <= self.cap_bytes
+                    and self._fusable(slots, slot, current, anc)):
+                current.append(slot)
+                total += op.bytes
+            elif eligible:
+                current = [slot]
+                total = op.bytes
+                groups.append(current)
+            else:
+                current = []
+        return [g for g in groups if len(g) > 1]
+
+    # -- rewrite -----------------------------------------------------------
+    def run(self, plan: StepPlan, ctx: PassContext) -> StepPlan:
+        anc = _ancestors(plan)
+        slots = [_sync_ops(plan, rank)
+                 for rank in range(plan.world_size)]
+        groups = self._slot_groups(slots, anc)
+        mapping: dict = {}      # removed uid -> fused (head) uid
+        fused: dict = {}        # head uid -> fused op
+        for rank_slots in slots:
+            for group in groups:
+                members = [rank_slots[s] for s in group]
+                head = members[0]
+                uids = {m.uid for m in members}
+                deps: list = []
+                for member in members:
+                    for dep in member.deps:
+                        if dep not in deps and dep not in uids:
+                            deps.append(dep)
+                fused[head.uid] = replace(
+                    head,
+                    bytes=sum(m.bytes for m in members),
+                    deps=tuple(deps),
+                    fused=sum(max(1, m.fused) for m in members))
+                for member in members[1:]:
+                    mapping[member.uid] = head.uid
+        if not fused:
+            return plan
+        ops = [fused.get(op.uid, op) for op in plan.ops
+               if op.uid not in mapping]
+        ops = retarget_deps(ops, mapping)
+        return StepPlan(plan.name, plan.world_size, ops, plan.meta)

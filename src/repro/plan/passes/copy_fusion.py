@@ -1,0 +1,108 @@
+"""Copy elision/fusion: merge adjacent transfers with identical endpoints.
+
+Two rewrites over the plan's H2D/D2H/P2P copies:
+
+- **elision** — a zero-byte copy moves nothing; remove it and rewire its
+  dependents to its (single) dependency.  Compilers emit these when a
+  shard or micro-batch divides to nothing on some rank.
+- **chain fusion** — when copy B's *only* dependency is copy A, A's
+  *only* dependent is B, and both describe the same endpoints (same op
+  kind, rank, label, payload, and destination rank for P2P), the pair is
+  one logical transfer split in two.  Fuse B into A: one DMA setup, one
+  fabric transfer of the summed bytes.  Maximal chains collapse into
+  their head, which keeps its uid so the plan differ lines up.
+
+Edge contraction of a degree-1/degree-1 edge cannot create a cycle (a
+post-fusion cycle would imply a pre-existing B->...->A path, i.e. a
+cycle through A->B already), copies are not rendezvous ops (rank
+symmetry untouched), and summed bytes under an unchanged payload tag
+keep conservation exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..ir import D2HCopy, H2DCopy, P2PCopy, StepPlan
+from .manager import PassContext, PlanPass, retarget_deps
+
+__all__ = ["CopyFusion"]
+
+_COPY_TYPES = (H2DCopy, D2HCopy, P2PCopy)
+
+
+def _endpoints(op) -> tuple:
+    """What must match for two copies to be one logical transfer."""
+    key = (type(op), op.rank, op.label, op.payload, op.category,
+           op.traced)
+    if isinstance(op, P2PCopy):
+        key += (op.dst_rank,)
+    return key
+
+
+class CopyFusion(PlanPass):
+    """Elide zero-byte copies and fuse same-endpoint copy chains."""
+
+    name = "copy-fusion"
+
+    def describe(self) -> str:
+        return "copy-fusion"
+
+    # -- zero-byte elision -------------------------------------------------
+    @staticmethod
+    def _elide(plan: StepPlan) -> StepPlan:
+        mapping: dict = {}
+        for op in plan:
+            if isinstance(op, _COPY_TYPES) and op.bytes == 0 \
+                    and len(op.deps) <= 1:
+                mapping[op.uid] = op.deps[0] if op.deps else None
+        if not mapping:
+            return plan
+        # Chains of zero-byte copies: follow to a surviving target.
+        resolved = {}
+        for uid, target in mapping.items():
+            while target in mapping:
+                target = mapping[target]
+            resolved[uid] = target
+        ops = retarget_deps(
+            [op for op in plan.ops if op.uid not in resolved], resolved)
+        return StepPlan(plan.name, plan.world_size, ops, plan.meta)
+
+    # -- chain fusion ------------------------------------------------------
+    @staticmethod
+    def _fuse_chains(plan: StepPlan) -> StepPlan:
+        dependents: dict = {}
+        for op in plan:
+            for dep in op.deps:
+                dependents.setdefault(dep, []).append(op.uid)
+        succ: dict = {}         # copy uid -> its unique fusable successor
+        for op in plan:
+            if not isinstance(op, _COPY_TYPES) or len(op.deps) != 1:
+                continue
+            prev = plan.op(op.deps[0])
+            if (isinstance(prev, _COPY_TYPES)
+                    and dependents.get(prev.uid) == [op.uid]
+                    and _endpoints(prev) == _endpoints(op)):
+                succ[prev.uid] = op.uid
+        if not succ:
+            return plan
+        heads = set(succ) - set(succ.values())
+        mapping: dict = {}      # member uid -> chain head uid
+        fused: dict = {}        # head uid -> fused op
+        for head_uid in heads:
+            head = plan.op(head_uid)
+            total, count, uid = head.bytes, max(1, head.fused), head_uid
+            while uid in succ:
+                uid = succ[uid]
+                member = plan.op(uid)
+                total += member.bytes
+                count += max(1, member.fused)
+                mapping[uid] = head_uid
+            fused[head_uid] = replace(head, bytes=total, fused=count)
+        ops = [fused.get(op.uid, op) for op in plan.ops
+               if op.uid not in mapping]
+        ops = retarget_deps(ops, mapping)
+        return StepPlan(plan.name, plan.world_size, ops, plan.meta)
+
+    def run(self, plan: StepPlan, ctx: PassContext) -> StepPlan:
+        return self._fuse_chains(self._elide(plan))

@@ -1,0 +1,104 @@
+"""Comm/compute overlap: launch collectives as their producers retire.
+
+The DDP compiler gates each gradient bucket's collective on an untraced
+``Delay`` ("bucket i's gradients exist this many seconds into
+backward") anchored on the producing compute op.  Those gate times are
+*completion* times — the conservative hook point at which the whole
+bucket is materialized.  Real DDP launches the allreduce for bucket
+``k`` the moment its last gradient is written, which is while bucket
+``k+1`` is still being computed: the communication stream runs one
+bucket *behind* the compute stream, not after it.
+
+This pass re-times exactly that.  For every run of collectives hanging
+off sibling gates (same rank, same anchor dependencies), it shifts each
+launch one slab earlier: collective ``k`` launches at the *previous*
+collective's ready time, and the first extrapolates one inter-gate
+interval before its own ready point (clamped at the anchor).  On a
+bandwidth-bound fabric the comm work is conserved — the rewrite moves
+the whole backlog earlier under the compute, which is precisely the
+exposed-sync reduction DDP's overlapped hooks buy on the Falcon uplink.
+
+Invariant obligations: only ``Delay.seconds`` values change and
+now-unreferenced gates are dropped — no collective op, byte count, or
+rendezvous slot is touched, so symmetry/conservation/acyclicity hold
+trivially.  Per-rank launch *order* within the run is preserved (the
+re-timed sequence stays sorted), keeping the communicator's sequence-
+matched rendezvous deadlock-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..ir import Collective, Delay, StepPlan
+from .manager import PassContext, PlanPass, drop_orphaned_gates
+
+__all__ = ["OverlapScheduling"]
+
+
+def _pure_gate(op) -> bool:
+    """An untraced fixed-seconds Delay — the compilers' bucket gates."""
+    return (isinstance(op, Delay) and not op.traced
+            and op.elapsed_fraction == 0.0)
+
+
+class OverlapScheduling(PlanPass):
+    """Re-time gate delays so collectives launch one slab earlier."""
+
+    name = "overlap"
+
+    def describe(self) -> str:
+        return "overlap"
+
+    def _runs(self, plan: StepPlan) -> list:
+        """Find per-rank runs of gate-launched collectives.
+
+        A collective joins a run when *all* its deps are pure gates,
+        each gate's sole dependent is that collective, and the gates
+        share the run's anchor (the union of the gates' own deps).
+        Returns ``[(collective, launch_gate, ready_seconds), ...]`` runs
+        of length >= 2, where ``launch_gate`` is the latest gate (the
+        one that actually times the launch).
+        """
+        dependents: dict = {}
+        for op in plan:
+            for dep in op.deps:
+                dependents.setdefault(dep, []).append(op.uid)
+        runs: dict = {}
+        for op in plan:
+            if not isinstance(op, Collective) or not op.deps:
+                continue
+            gates = [plan.op(d) for d in op.deps]
+            if not all(_pure_gate(g) and g.rank == op.rank
+                       and dependents.get(g.uid) == [op.uid]
+                       for g in gates):
+                continue
+            anchor = frozenset(d for g in gates for d in g.deps)
+            launch = max(gates, key=lambda g: g.seconds)
+            runs.setdefault((op.rank, anchor), []).append(
+                (op, launch, launch.seconds))
+        return [entries for entries in runs.values() if len(entries) >= 2]
+
+    def run(self, plan: StepPlan, ctx: PassContext) -> StepPlan:
+        retimed: dict = {}      # gate uid -> retimed gate
+        slimmed: dict = {}      # collective uid -> single-gate collective
+        dropped: set = set()    # gate uids a collective no longer needs
+        for entries in self._runs(plan):
+            entries.sort(key=lambda e: e[2])
+            ready = [e[2] for e in entries]
+            # Collective k launches when bucket k-1 was ready; the first
+            # extrapolates one inter-gate interval early (>= 0, i.e.
+            # never before the anchor itself).
+            launch = [max(0.0, 2.0 * ready[0] - ready[1])]
+            launch += ready[:-1]
+            for (op, gate, _), when in zip(entries, launch):
+                retimed[gate.uid] = replace(gate, seconds=when)
+                if len(op.deps) > 1:
+                    slimmed[op.uid] = replace(op, deps=(gate.uid,))
+                    dropped.update(d for d in op.deps if d != gate.uid)
+        if not retimed:
+            return plan
+        ops = [slimmed.get(op.uid, retimed.get(op.uid, op))
+               for op in plan.ops]
+        ops = drop_orphaned_gates(ops, dropped)
+        return StepPlan(plan.name, plan.world_size, ops, plan.meta)

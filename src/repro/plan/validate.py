@@ -6,7 +6,8 @@ Three families of checks:
    (already rejected at construction), rank ranges, negative costs, and
    cycle detection via Kahn's algorithm.
 2. **Rank symmetry** — every rank must issue the *same ordered sequence*
-   of collectives/barriers with matching kind, bytes, and root.  This is
+   of collectives/barriers with matching kind, bytes, root, and staging
+   chunk size.  This is
    the static mirror of the communicator's runtime rendezvous (which
    matches ops by per-rank sequence number and raises
    ``CollectiveError`` on divergence); a plan that fails this pass would
@@ -100,6 +101,8 @@ def _check_structure(plan: StepPlan) -> list:
                 problems.append(f"{op.uid}: depends on itself")
         if op.bytes < 0:
             problems.append(f"{op.uid}: negative bytes {op.bytes}")
+        if op.fused < 0:
+            problems.append(f"{op.uid}: negative fused count {op.fused}")
         if isinstance(op, Compute):
             if op.flops < 0 or op.hbm_bytes < 0:
                 problems.append(f"{op.uid}: negative compute cost")
@@ -109,9 +112,13 @@ def _check_structure(plan: StepPlan) -> list:
         if isinstance(op, Delay):
             if op.seconds < 0 or op.elapsed_fraction < 0:
                 problems.append(f"{op.uid}: negative delay")
-        if isinstance(op, Collective) and op.root is not None \
-                and not 0 <= op.root < plan.world_size:
-            problems.append(f"{op.uid}: root {op.root} out of range")
+        if isinstance(op, Collective):
+            if op.root is not None \
+                    and not 0 <= op.root < plan.world_size:
+                problems.append(f"{op.uid}: root {op.root} out of range")
+            if op.chunk_bytes is not None and op.chunk_bytes <= 0:
+                problems.append(
+                    f"{op.uid}: non-positive chunk_bytes {op.chunk_bytes}")
     return problems
 
 
@@ -126,7 +133,7 @@ def _check_acyclic(plan: StepPlan) -> list:
 def _sync_signature(op: Op):
     """What must match across ranks for one rendezvous slot."""
     if isinstance(op, Collective):
-        return ("collective", op.comm, op.bytes, op.root)
+        return ("collective", op.comm, op.bytes, op.root, op.chunk_bytes)
     if isinstance(op, Barrier):
         return ("barrier",)
     return None

@@ -22,6 +22,7 @@ local GPUs callers should pass the hybrid-cube-mesh Hamiltonian order
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -31,7 +32,7 @@ from ..fabric.topology import Route, Topology
 from ..telemetry.trace import NULL_TRACER, Category, Tracer, Track
 
 __all__ = ["Communicator", "CollectiveError", "CollectiveTimeout",
-           "TRANSPORT_PENALTY"]
+           "TRANSPORT_PENALTY", "REFERENCE_CHUNK_BYTES"]
 
 #: NCCL transport efficiency, expressed as byte inflation per protocol.
 #: NVLink rings run close to line rate; the PCIe transport stages chunks
@@ -48,6 +49,15 @@ TRANSPORT_PENALTY: dict[Protocol, float] = {
     Protocol.CDFP: 2.2,
 }
 _DEFAULT_TRANSPORT_PENALTY = 1.5
+
+#: Staging chunk size the calibrated penalties correspond to.  Callers
+#: may pass an explicit ``chunk_bytes`` (e.g. from the plan optimizer's
+#: topology-aware chunk-sizing pass); larger chunks amortize per-chunk
+#: staging overhead, scaling the *excess* penalty by
+#: ``sqrt(reference / chunk)``, floored so even huge chunks keep 40% of
+#: the excess (protocol overheads that never amortize).
+REFERENCE_CHUNK_BYTES = 1e6
+_CHUNK_AMORTIZATION_FLOOR = 0.4
 
 
 class CollectiveError(Exception):
@@ -78,6 +88,7 @@ class _PendingOp:
     nbytes: float
     root: Optional[int]
     done: Event
+    chunk_bytes: Optional[float] = None
     arrived: dict = field(default_factory=dict)  # rank -> arrival time
 
 
@@ -132,39 +143,47 @@ class Communicator:
         return len(self.ranks)
 
     # -- public collectives ------------------------------------------------
-    def allreduce(self, rank: int, nbytes: float) -> Event:
+    def allreduce(self, rank: int, nbytes: float, *,
+                  chunk_bytes: Optional[float] = None) -> Event:
         """Ring allreduce of ``nbytes`` per rank.  Returns the done event."""
-        return self._join(rank, "allreduce", nbytes, None)
+        return self._join(rank, "allreduce", nbytes, None, chunk_bytes)
 
-    def reduce_scatter(self, rank: int, nbytes: float) -> Event:
+    def reduce_scatter(self, rank: int, nbytes: float, *,
+                       chunk_bytes: Optional[float] = None) -> Event:
         """Ring reduce-scatter: each rank ends with 1/N of the reduction."""
-        return self._join(rank, "reduce_scatter", nbytes, None)
+        return self._join(rank, "reduce_scatter", nbytes, None, chunk_bytes)
 
-    def allgather(self, rank: int, nbytes: float) -> Event:
+    def allgather(self, rank: int, nbytes: float, *,
+                  chunk_bytes: Optional[float] = None) -> Event:
         """Ring all-gather of per-rank shards totalling ``nbytes``."""
-        return self._join(rank, "allgather", nbytes, None)
+        return self._join(rank, "allgather", nbytes, None, chunk_bytes)
 
-    def broadcast(self, rank: int, nbytes: float, root: int = 0) -> Event:
+    def broadcast(self, rank: int, nbytes: float, root: int = 0, *,
+                  chunk_bytes: Optional[float] = None) -> Event:
         """Root sends ``nbytes`` to every other rank (DP-style fan-out)."""
-        return self._join(rank, "broadcast", nbytes, root)
+        return self._join(rank, "broadcast", nbytes, root, chunk_bytes)
 
-    def reduce(self, rank: int, nbytes: float, root: int = 0) -> Event:
+    def reduce(self, rank: int, nbytes: float, root: int = 0, *,
+               chunk_bytes: Optional[float] = None) -> Event:
         """Every rank sends ``nbytes`` to the root (DP-style fan-in)."""
-        return self._join(rank, "reduce", nbytes, root)
+        return self._join(rank, "reduce", nbytes, root, chunk_bytes)
 
     def barrier(self, rank: int) -> Event:
         """Synchronize all ranks without moving data."""
-        return self._join(rank, "barrier", 0.0, None)
+        return self._join(rank, "barrier", 0.0, None, None)
 
     # -- rendezvous ---------------------------------------------------------
     def _join(self, rank: int, kind: str, nbytes: float,
-              root: Optional[int]) -> Event:
+              root: Optional[int],
+              chunk_bytes: Optional[float] = None) -> Event:
         if not 0 <= rank < self.world_size:
             raise CollectiveError(f"rank {rank} out of range")
         if nbytes < 0:
             raise CollectiveError("nbytes must be >= 0")
         if root is not None and not 0 <= root < self.world_size:
             raise CollectiveError(f"root {root} out of range")
+        if chunk_bytes is not None and chunk_bytes <= 0:
+            raise CollectiveError("chunk_bytes must be positive")
         if self._closed:
             # Aborted communicator: resolve immediately so straggler ranks
             # unwind instead of waiting on a collective that will never run.
@@ -175,14 +194,18 @@ class Communicator:
         self._op_seq[rank] += 1
         op = self._pending.get(opid)
         if op is None:
-            op = _PendingOp(kind, nbytes, root, self.env.event())
+            op = _PendingOp(kind, nbytes, root, self.env.event(),
+                            chunk_bytes)
             self._pending[opid] = op
         else:
-            if op.kind != kind or op.nbytes != nbytes or op.root != root:
+            if op.kind != kind or op.nbytes != nbytes or op.root != root \
+                    or op.chunk_bytes != chunk_bytes:
                 raise CollectiveError(
                     f"collective mismatch at op {opid}: rank {rank} called "
-                    f"{kind}({nbytes}, root={root}) but op is "
-                    f"{op.kind}({op.nbytes}, root={op.root})")
+                    f"{kind}({nbytes}, root={root}, "
+                    f"chunk={chunk_bytes}) but op is "
+                    f"{op.kind}({op.nbytes}, root={op.root}, "
+                    f"chunk={op.chunk_bytes})")
         if rank in op.arrived:
             raise CollectiveError(
                 f"rank {rank} joined op {opid} twice")
@@ -234,19 +257,21 @@ class Communicator:
             elif op.kind == "allreduce":
                 yield from self._ring_phases(op.nbytes,
                                              2 * (self.world_size - 1),
-                                             track)
+                                             track, op.chunk_bytes)
             elif op.kind == "reduce_scatter":
                 yield from self._ring_phases(op.nbytes, self.world_size - 1,
-                                             track)
+                                             track, op.chunk_bytes)
             elif op.kind == "allgather":
                 yield from self._ring_phases(op.nbytes, self.world_size - 1,
-                                             track)
+                                             track, op.chunk_bytes)
             elif op.kind == "broadcast":
                 yield from self._star(op.root, op.nbytes, outbound=True,
-                                      track=track)
+                                      track=track,
+                                      chunk_bytes=op.chunk_bytes)
             elif op.kind == "reduce":
                 yield from self._star(op.root, op.nbytes, outbound=False,
-                                      track=track)
+                                      track=track,
+                                      chunk_bytes=op.chunk_bytes)
             else:  # pragma: no cover - guarded by _join
                 raise CollectiveError(f"unknown collective {op.kind!r}")
         except Exception as exc:
@@ -301,22 +326,37 @@ class Communicator:
         return self._closed
 
     # -- schedules ------------------------------------------------------------
-    def _transport_factor(self, route: Route) -> float:
-        """Byte inflation for NCCL's transport over this route."""
+    def _transport_factor(self, route: Route,
+                          chunk_bytes: Optional[float] = None) -> float:
+        """Byte inflation for NCCL's transport over this route.
+
+        With an explicit staging ``chunk_bytes``, the *excess* over line
+        rate amortizes as ``sqrt(reference / chunk)`` (per-chunk setup
+        spread over more payload), floored at 40% of the excess; chunks
+        at or below the reference pay the full calibrated penalty.
+        """
         factor = 1.0
         for seg in route.segments:
             penalty = self.transport_penalty.get(
                 seg.link.spec.protocol, _DEFAULT_TRANSPORT_PENALTY)
             factor = max(factor, penalty)
+        if chunk_bytes is not None and factor > 1.0 \
+                and chunk_bytes > REFERENCE_CHUNK_BYTES:
+            scale = max(math.sqrt(REFERENCE_CHUNK_BYTES / chunk_bytes),
+                        _CHUNK_AMORTIZATION_FLOOR)
+            factor = 1.0 + (factor - 1.0) * scale
         return factor
 
-    def _send(self, src: str, dst: str, nbytes: float, label: str):
+    def _send(self, src: str, dst: str, nbytes: float, label: str,
+              chunk_bytes: Optional[float] = None):
         """One collective hop, inflated by the transport penalty."""
-        factor = self._transport_factor(self.topology.route(src, dst))
+        factor = self._transport_factor(self.topology.route(src, dst),
+                                        chunk_bytes)
         return self.topology.transfer(src, dst, nbytes * factor, label)
 
     def _ring_phases(self, nbytes: float, phases: int,
-                     track: Track = None):
+                     track: Track = None,
+                     chunk_bytes: Optional[float] = None):
         """Ring schedule: ``phases`` rounds of chunk sends to the neighbour.
 
         Each round, every rank sends ``nbytes / world_size`` to its ring
@@ -330,13 +370,14 @@ class Communicator:
                                   phase=phase, chunk_bytes=chunk):
                 transfers = [
                     self._send(self.ranks[i], self.ranks[(i + 1) % n],
-                               chunk, "ring")
+                               chunk, "ring", chunk_bytes)
                     for i in range(n)
                 ]
                 yield self.env.all_of(transfers)
 
     def _star(self, root: int, nbytes: float, outbound: bool,
-              track: Track = None):
+              track: Track = None,
+              chunk_bytes: Optional[float] = None):
         """Star schedule: root simultaneously sends to (or receives from)
         every other rank; the root's links are the natural bottleneck."""
         others = [i for i in range(self.world_size) if i != root]
@@ -348,7 +389,8 @@ class Communicator:
                     src, dst = self.ranks[root], self.ranks[i]
                 else:
                     src, dst = self.ranks[i], self.ranks[root]
-                transfers.append(self._send(src, dst, nbytes, "star"))
+                transfers.append(
+                    self._send(src, dst, nbytes, "star", chunk_bytes))
             yield self.env.all_of(transfers)
 
     # -- analytics ------------------------------------------------------------

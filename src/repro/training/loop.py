@@ -130,6 +130,14 @@ class TrainingConfig:
     #: ``None`` disables the watchdog (a rank stuck on a dead peer hangs,
     #: as NCCL does without a timeout configured).
     collective_timeout: Optional[float] = None
+    #: Optimization passes applied to the compiled step plan, as a spec
+    #: accepted by :func:`repro.plan.passes.resolve_passes` — a comma
+    #: string ("bucketing,overlap"), "all", or a sequence mixing names
+    #: and PlanPass instances.  ``None`` (default) runs the compiler's
+    #: plan untouched, byte-for-byte identical to pre-pass behaviour.
+    #: The checkpoint plan is never rewritten: it is latency-bound
+    #: sequential drain with nothing to overlap or bucket.
+    plan_passes: Optional[object] = None
 
     def __post_init__(self):
         if self.sim_steps <= 0:
@@ -297,6 +305,20 @@ class TrainingJob:
         self.step_plan = config.strategy.compile_step(CompileContext(
             costs=self.costs, world_size=self.world_size,
             accumulation=config.accumulation_steps, gpus=gpus))
+        #: Per-pass reports when ``config.plan_passes`` is set (else []).
+        self.pass_reports: list = []
+        if config.plan_passes:
+            from ..plan.passes import (
+                PassContext,
+                PassManager,
+                resolve_passes,
+            )
+            manager = PassManager(resolve_passes(config.plan_passes))
+            self.step_plan = manager.run(self.step_plan, PassContext(
+                topology=topology,
+                rank_nodes=[g.name for g in gpus],
+                host_node=host.dram_node))
+            self.pass_reports = manager.reports
         self.checkpoint_plan, self._ckpt_uids = self._compile_checkpoint()
         self._exec_ctx = ExecutionContext(
             env=env, comm=self.comm, gpus=gpus, topology=topology,

@@ -327,7 +327,9 @@ class DistributedDataParallel(ParallelStrategy):
         costs = ctx.costs
         b = PlanBuilder(f"{self.name}-step", ctx.world_size,
                         meta={"strategy": self.name,
-                              "bucket_bytes": self.bucket_bytes})
+                              "bucket_bytes": self.bucket_bytes,
+                              "buckets": len(self._bucket_plan(
+                                  ctx.costs, 1.0))})
         self._declare_conservation(b, ctx)
         for rank in range(ctx.world_size):
             prev = None

@@ -1,0 +1,242 @@
+"""Property-based plan-conformance harness for the optimization passes.
+
+Generates random *valid* plans — bounded world sizes, shared rendezvous
+schedules, gated and chained collectives, fusable copy chains including
+zero-byte copies — and asserts that every registered pass (and the full
+default pipeline) preserves the plan contract:
+
+- the rewritten plan still passes every validation pass
+  (structure, acyclicity, rank symmetry, bytes conservation);
+- total bytes per payload tag are conserved exactly;
+- each rank's rendezvous sequence is *work-equivalent*: expanding every
+  collective into its ``fused`` constituents reproduces the original
+  per-rank (kind, root, payload) sequence, so no communication was
+  invented, lost, or reordered across a barrier.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.gpu import Precision
+from repro.plan import (
+    Barrier,
+    Collective,
+    D2HCopy,
+    H2DCopy,
+    P2PCopy,
+    PlanBuilder,
+    validate_plan,
+)
+from repro.plan.passes import (
+    DEFAULT_PIPELINE,
+    PASS_REGISTRY,
+    PassContext,
+    PassManager,
+    resolve_passes,
+)
+
+_COPY_TYPES = (H2DCopy, D2HCopy, P2PCopy)
+
+# -- random-plan generator ---------------------------------------------------
+
+_SYNC_KINDS = ("allreduce", "reduce_scatter", "all_gather", "broadcast",
+               "barrier")
+_SLOT_BYTES = (0.0, 1e5, 4e6, 16e6, 40e6)
+
+
+@st.composite
+def _sync_schedule(draw):
+    """A shared rendezvous schedule every rank will issue in order."""
+    n = draw(st.integers(min_value=0, max_value=7))
+    slots = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(_SYNC_KINDS))
+        slots.append({
+            "kind": kind,
+            "bytes": draw(st.sampled_from(_SLOT_BYTES)),
+            "payload": draw(st.sampled_from([None, "gradients"])),
+            "gated": draw(st.booleans()),
+            "root": 0 if kind == "broadcast" else None,
+        })
+    return slots
+
+
+@st.composite
+def plans(draw):
+    """A random valid plan shaped like the strategy compilers' output:
+    an input-copy chain, forward compute, a rank-symmetric rendezvous
+    schedule (optionally gated by untraced bucket-ready delays), and an
+    optimizer step."""
+    world = draw(st.integers(min_value=1, max_value=3))
+    slots = draw(_sync_schedule())
+    copy_bytes = draw(st.lists(st.sampled_from([0.0, 0.0, 2e6, 8e6]),
+                               min_size=0, max_size=4))
+    gate_base = draw(st.floats(min_value=1e-3, max_value=5e-2))
+
+    b = PlanBuilder("hyp", world_size=world)
+    totals: dict = {}
+    for rank in range(world):
+        prev = b.h2d(rank, "input", 1e6, label="input")
+        for i, nbytes in enumerate(copy_bytes):
+            prev = b.h2d(rank, f"chunk{i}", nbytes, label="input",
+                         deps=[prev])
+        fwd = b.compute(rank, "fwd", flops=1e9, hbm_bytes=1e6,
+                        precision=Precision.FP16, efficiency=0.5,
+                        deps=[prev])
+        anchor = fwd
+        for i, slot in enumerate(slots):
+            if slot["kind"] == "barrier":
+                anchor = b.barrier(rank, f"bar{i}", deps=[anchor])
+                continue
+            deps = [anchor]
+            if slot["gated"]:
+                # DDP-style bucket gate: untraced, anchored on fwd, the
+                # collective is its sole dependent.
+                deps = [b.delay(rank, f"gate{i}",
+                                seconds=gate_base * (i + 1),
+                                deps=[fwd], traced=False)]
+            uid = b.collective(rank, f"coll{i}", slot["kind"],
+                               slot["bytes"], root=slot["root"],
+                               payload=slot["payload"], deps=deps)
+            if slot["payload"] is not None:
+                totals[slot["payload"]] = (totals.get(slot["payload"],
+                                                      0.0)
+                                           + slot["bytes"])
+            if not slot["gated"]:
+                anchor = uid
+        b.compute(rank, "opt", flops=1e8, hbm_bytes=1e5,
+                  precision=Precision.FP32, efficiency=0.5,
+                  deps=[anchor])
+    for payload, total in totals.items():
+        b.declare_conservation(payload, total)
+    return b.build()
+
+
+# -- observables -------------------------------------------------------------
+
+def _payload_totals(plan):
+    totals: dict = {}
+    for op in plan:
+        payload = getattr(op, "payload", None)
+        if payload is not None:
+            totals[payload] = totals.get(payload, 0.0) + op.bytes
+    return totals
+
+
+def _expanded_sync_seq(plan, rank):
+    """The rank's rendezvous sequence with fused ops expanded back into
+    their constituents — the pass-invariant view of its communication."""
+    seq = []
+    for op in plan.by_rank(rank):
+        if isinstance(op, Collective):
+            seq.extend([(op.comm, op.root, op.payload)]
+                       * max(1, op.fused))
+        elif isinstance(op, Barrier):
+            seq.append(("barrier", None, None))
+    return seq
+
+
+def _assert_conformant(before, after):
+    problems = validate_plan(after)
+    assert problems == [], problems
+    b_totals, a_totals = _payload_totals(before), _payload_totals(after)
+    assert set(b_totals) == set(a_totals)
+    for payload, total in b_totals.items():
+        assert math.isclose(a_totals[payload], total, rel_tol=1e-9), \
+            payload
+    for rank in range(before.world_size):
+        assert (_expanded_sync_seq(after, rank)
+                == _expanded_sync_seq(before, rank)), f"rank {rank}"
+
+
+# -- properties --------------------------------------------------------------
+
+@pytest.mark.parametrize("pass_name", sorted(PASS_REGISTRY))
+class TestEveryPassPreservesTheContract:
+    @settings(max_examples=25, deadline=None)
+    @given(plan=plans())
+    def test_invariants_bytes_and_sync_sequence(self, pass_name, plan):
+        out = PASS_REGISTRY[pass_name]().run(plan, PassContext())
+        _assert_conformant(plan, out)
+
+    @settings(max_examples=10, deadline=None)
+    @given(plan=plans())
+    def test_never_grows_the_plan(self, pass_name, plan):
+        out = PASS_REGISTRY[pass_name]().run(plan, PassContext())
+        assert len(out) <= len(plan)
+
+
+class TestPipelineProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(plan=plans())
+    def test_default_pipeline_conformant_end_to_end(self, plan):
+        manager = PassManager(resolve_passes("all"))
+        out = manager.run(plan, PassContext())  # re-validates internally
+        _assert_conformant(plan, out)
+        assert out.meta["opt"]
+        assert len(manager.reports) == len(DEFAULT_PIPELINE)
+
+    @settings(max_examples=25, deadline=None)
+    @given(plan=plans())
+    def test_copy_fusion_leaves_no_dead_zero_byte_copies(self, plan):
+        out = PASS_REGISTRY["copy-fusion"]().run(plan, PassContext())
+        for op in out:
+            if isinstance(op, _COPY_TYPES) and len(op.deps) <= 1:
+                assert op.bytes > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(plan=plans())
+    def test_chunk_sizing_is_idempotent(self, plan):
+        sizer = PASS_REGISTRY["chunk-size"]()
+        once = sizer.run(plan, PassContext())
+        twice = sizer.run(once, PassContext())
+        assert [(op.uid, getattr(op, "chunk_bytes", None))
+                for op in twice.ops] \
+            == [(op.uid, getattr(op, "chunk_bytes", None))
+                for op in once.ops]
+
+    @settings(max_examples=15, deadline=None)
+    @given(plan=plans())
+    def test_overlap_only_retimes_gates(self, plan):
+        out = PASS_REGISTRY["overlap"]().run(plan, PassContext())
+        before = {op.uid: op for op in plan}
+        for op in out:
+            original = before[op.uid]
+            if type(op) is not type(original):
+                raise AssertionError(op.uid)
+            if isinstance(op, Collective):
+                assert op.bytes == original.bytes
+
+
+class _FlatTopology:
+    """Every path measures the same bandwidth."""
+
+    def __init__(self, gbps):
+        self.gbps = gbps
+
+    def path_bandwidth(self, src, dst):
+        return self.gbps
+
+
+class TestChunkSizingWithTopology:
+    @settings(max_examples=25, deadline=None)
+    @given(plan=plans(), bw=st.sampled_from([2e9, 12e9, 120e9]))
+    def test_chunks_track_measured_bandwidth(self, plan, bw):
+        ctx = PassContext(topology=_FlatTopology(bw),
+                          rank_nodes=[f"node{r}"
+                                      for r in range(plan.world_size)])
+        out = PASS_REGISTRY["chunk-size"]().run(plan, ctx)
+        # 1 ms of streaming on the bottleneck link, clamped to
+        # [1 MB, 64 MB], never above the payload.
+        expected = min(max(bw * 1e-3, 1e6), 64e6)
+        for op in out:
+            if isinstance(op, Collective) and op.bytes > 0:
+                if plan.world_size < 2:
+                    assert op.chunk_bytes == min(8e6, op.bytes)
+                else:
+                    assert op.chunk_bytes == min(expected, op.bytes)
+            elif isinstance(op, Collective):
+                assert op.chunk_bytes is None

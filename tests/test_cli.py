@@ -169,3 +169,63 @@ class TestPlanCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["plan", "bert-large", "--strategy", "fsdp"])
+
+    def test_opt_prints_a_report_per_pass(self, capsys):
+        assert main(["plan", "bert-large", "--config", "falconGPUs",
+                     "--opt", "bucketing,overlap"]) == 0
+        out = capsys.readouterr().out
+        assert "pass bucketing: " in out
+        assert "pass overlap: " in out
+        assert "fused=" in out  # fusion visible in the listing
+
+    def test_opt_all_validates_clean(self, capsys):
+        assert main(["plan", "bert-large", "--config", "falconGPUs",
+                     "--opt", "all", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "plan OK" in out
+        assert "chunk=" in out  # chunk-size annotations in the listing
+
+    def test_unknown_opt_pass_exits_2(self, capsys):
+        assert main(["plan", "bert-large", "--opt", "voodoo"]) == 2
+        assert "unknown plan pass 'voodoo'" in capsys.readouterr().out
+
+    def test_validate_broken_plan_exits_1(self, capsys, monkeypatch):
+        # A compiler emitting a rank-asymmetric plan must be caught by
+        # --validate with a nonzero exit, not silently printed.
+        from repro.plan import PlanBuilder
+        from repro.training import DistributedDataParallel
+
+        def broken(self, ctx):
+            b = PlanBuilder("broken", world_size=len(ctx.gpus))
+            b.collective(0, "grad", "allreduce", 1e6)  # rank 0 only
+            return b.build()
+
+        monkeypatch.setattr(DistributedDataParallel, "compile_step",
+                            broken)
+        assert main(["plan", "bert-large", "--validate"]) == 1
+        assert "plan problem" in capsys.readouterr().out
+
+    def test_diff_reports_differing_op_counts(self, capsys):
+        # The optimized plan has fewer ops than the unoptimized one of
+        # the same strategy; the diff header carries both counts.
+        assert main(["plan", "bert-large", "--config", "falconGPUs",
+                     "--strategy", "ddp", "--diff", "dp"]) == 0
+        out = capsys.readouterr().out
+        assert "diff 'ddp-step'" in out and "'dp-step'" in out
+        import re
+        counts = re.search(r"diff 'ddp-step' \((\d+) ops\) -> "
+                           r"'dp-step' \((\d+) ops\)", out)
+        assert counts and counts.group(1) != counts.group(2)
+
+
+class TestFig16OptCommand:
+    def test_fig16_opt_smoke(self, capsys, tmp_path):
+        trace = tmp_path / "opt.json"
+        assert main(["fig16-opt", "--steps", "4",
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "optimizing plan passes" in out
+        assert "bucketing+overlap" in out
+        assert "wrote optimized-run trace" in out
+        trace_json = json.loads(trace.read_text())
+        assert trace_json["traceEvents"]

@@ -163,7 +163,7 @@ def drop_gpu_on_first_attempt(system, injector, node, at_step=2):
 
 @pytest.mark.chaos
 class TestElasticRecovery:
-    def make_ft_job(self, system, gpus, **overrides):
+    def make_ft_job(self, system, gpus, config=None, **overrides):
         resilience = ResilienceConfig(backoff_initial=0.05,
                                       reattach_attempts=2)
         kwargs = dict(resilience=resilience,
@@ -172,7 +172,8 @@ class TestElasticRecovery:
         kwargs.update(overrides)
         return FaultTolerantTrainingJob(
             system.env, system.topology, system.host, gpus,
-            system.host.scratch, small_config(sim_steps=6), **kwargs)
+            system.host.scratch, config or small_config(sim_steps=6),
+            **kwargs)
 
     def test_falcon_gpu_hot_swapped_from_spare(self):
         system = ComposableSystem()
@@ -236,6 +237,59 @@ class TestElasticRecovery:
         result = ft.run()
         assert not result.completed
         assert "recovery_gave_up" in [a.kind for a in result.recovery_log]
+
+    def test_optimized_plan_link_failure_still_interrupts(self):
+        # The bucketed+overlapped plan must not blunt fault detection:
+        # pulling the uplink mid-step interrupts exactly like the
+        # unoptimized plan.
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch,
+                          small_config(plan_passes="bucketing,overlap"))
+        assert [r.pass_name for r in job.pass_reports] \
+            == ["bucketing", "overlap"]
+
+        def pull(steps_done, now):
+            if steps_done == 1:
+                system.topology.fail_link(h1_link(system))
+
+        job.add_step_listener(pull)
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            system.env.run(until=job.start())
+        assert isinstance(exc_info.value.cause,
+                          (LinkFailure, NoRouteError, DeviceFailure))
+        assert exc_info.value.steps_completed < 4
+
+    def test_optimized_recovery_converges_to_same_step_count(self):
+        # Checkpoint-restart under the optimized plan must land on the
+        # same step count as the unoptimized job facing the same fault.
+        outcomes = {}
+        for name, passes in (("plain", None),
+                             ("optimized", "bucketing,overlap")):
+            system = ComposableSystem()
+            system.install_spare_gpu(drawer=0)
+            injector = FaultInjector(system.env, system.topology,
+                                     falcon=system.falcon,
+                                     event_log=system.mcs.log)
+            ft = self.make_ft_job(
+                system, system.falcon_gpus[:4],
+                config=small_config(sim_steps=6,
+                                    plan_passes=passes))
+            ft.on_attempt.append(drop_gpu_on_first_attempt(
+                system, injector, "falcon0/gpu1"))
+            outcomes[name] = ft.run()
+
+        plain, opt = outcomes["plain"], outcomes["optimized"]
+        assert plain.completed and opt.completed
+        assert opt.total_steps == plain.total_steps == 6
+        assert opt.attempts == plain.attempts
+        assert opt.final_world_size == plain.final_world_size
+        assert "gpu_hotplug" in [a.kind for a in opt.recovery_log]
+        assert opt.lost_steps == plain.lost_steps
+        # Rewritten plans change step timing, not training semantics:
+        # the recovered rings deliver the same useful sample count.
+        assert opt.samples == plain.samples
 
     def test_transient_fault_needs_no_ring_surgery(self):
         # A port flap heals within the backoff budget: pure
