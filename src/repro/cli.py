@@ -8,6 +8,7 @@ Usage::
     python -m repro fig10|fig11|fig12|fig13|fig14  [--steps N]
     python -m repro fig15 [--steps N]
     python -m repro fig16 [--steps N]
+    # figure sweeps also accept [--jobs N] [--no-cache] [--cache-dir DIR]
     python -m repro sharing                 # future-work tenancy studies
     python -m repro fault-tolerance [--config NAME] [--steps N] [--seed S]
                                             # chaos + recovery study
@@ -23,6 +24,7 @@ Usage::
                                      [--diff OTHER-STRATEGY]
                                      [--opt PASS[,PASS...]|all]
     python -m repro fig16-opt [--steps N] [--trace-out trace.json]
+    python -m repro perfbench [--smoke] [--jobs N] [--output DIR]
 
 Every command prints the same rows the paper's tables/figures report.
 ``trace`` writes a Chrome/Perfetto ``trace_event`` JSON (open in
@@ -59,6 +61,18 @@ TRACE_BACKENDS = {
 PLAN_STRATEGIES = ("dp", "ddp", "sharded", "pipeline")
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    """``--jobs``/``--no-cache``/``--cache-dir`` for the sweep commands."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run sweep cells across N worker processes")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the on-disk result "
+                             "cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -74,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"run the {name} experiment")
         p.add_argument("--steps", type=int, default=8,
                        help="simulated optimizer steps per run")
+        if name.startswith("fig1"):
+            # The Figs. 10-16 sweeps run many independent cells; they
+            # take the parallel/memoized harness knobs.
+            _add_parallel_args(p)
 
     ft = sub.add_parser("fault-tolerance",
                         help="chaos scenario vs resilient training")
@@ -133,6 +151,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated optimizer steps per run")
     fig16.add_argument("--trace-out", default=None,
                        help="write a Chrome trace of the optimized run")
+    _add_parallel_args(fig16)
+
+    perfbench = sub.add_parser(
+        "perfbench", help="benchmark the simulator itself: fast-path vs "
+                          "event-loop plan evaluation and the Fig. 16 "
+                          "grid wall-clock; writes BENCH_<date>.json")
+    perfbench.add_argument("--smoke", action="store_true",
+                           help="small cell subset for CI")
+    perfbench.add_argument("--jobs", type=int, default=1,
+                           help="also time the grid across N processes")
+    perfbench.add_argument("--output", default=None, metavar="DIR",
+                           help="directory for BENCH_<date>.json "
+                                "(default: current directory)")
 
     plan = sub.add_parser(
         "plan", help="compile one training step to the plan IR and "
@@ -183,6 +214,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from .experiments.sweeps import GPU_CONFIGS
 
     out = sys.stdout.write
+
+    def sweep_kwargs():
+        """``jobs``/``cache`` kwargs from the parallel-harness flags."""
+        from .experiments import NullCache, ResultCache
+        cache = (NullCache() if args.no_cache
+                 else ResultCache(args.cache_dir))
+        return {"jobs": args.jobs, "cache": cache}
 
     if args.command == "list":
         out("artifacts: table1 table2 table3 table4 fig5 fig9 fig10 "
@@ -242,7 +280,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command in ("fig10", "fig11", "fig12", "fig13", "fig14"):
-        sweep = gpu_config_sweep(sim_steps=args.steps)
+        sweep = gpu_config_sweep(sim_steps=args.steps, **sweep_kwargs())
         if args.command == "fig10":
             for metric in ("gpu_utilization", "gpu_memory",
                            "gpu_mem_access"):
@@ -267,15 +305,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "fig15":
-        sweep = storage_config_sweep(sim_steps=args.steps)
+        sweep = storage_config_sweep(sim_steps=args.steps,
+                                     **sweep_kwargs())
         out(render_table(["Benchmark", "localNVMe %", "falconNVMe %"],
                          relative_time_rows(sweep),
                          title="Fig 15") + "\n")
         return 0
 
     if args.command == "fig16":
-        study = software_optimization_study(sim_steps=max(4,
-                                                          args.steps // 2))
+        study = software_optimization_study(
+            sim_steps=max(4, args.steps // 2), **sweep_kwargs())
         rows = [(v, round(study["localGPUs"][v] * 1e3, 3),
                  round(study["falconGPUs"][v] * 1e3, 3))
                 for v in study["localGPUs"]]
@@ -290,7 +329,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "fig16-opt":
         from .experiments import optimized_ddp_study
         study = optimized_ddp_study(sim_steps=args.steps,
-                                    trace_out=args.trace_out)
+                                    trace_out=args.trace_out,
+                                    **sweep_kwargs())
         rows = []
         for name, profile in study.profiles.items():
             rows.append((name, round(profile.step_time * 1e3, 3),
@@ -306,6 +346,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if study.trace_path:
             out(f"wrote optimized-run trace to {study.trace_path}\n")
         return 0
+
+    if args.command == "perfbench":
+        from .experiments import run_perfbench, write_bench_report
+        report = run_perfbench(smoke=args.smoke, jobs=args.jobs)
+        out(render_table(
+            ["Configuration", "Variant", "Ops", "Fast steps/s",
+             "Executor steps/s", "Speedup"],
+            [(r["configuration"], r["variant"], r["ops"],
+              round(r["fastpath_steps_per_s"], 1),
+              round(r["executor_steps_per_s"], 1),
+              round(r["speedup"], 2))
+             for r in report["plan_eval"]],
+            title="Plan evaluation: fast path vs event-loop executor")
+            + "\n\n")
+        grid = report["fig16_grid"]
+        out(render_table(
+            ["Metric", "Value"],
+            [("cells", grid["cells"]),
+             ("sim steps / cell", grid["sim_steps"]),
+             ("event-loop study (s)", round(grid["baseline_eventloop_s"],
+                                            3)),
+             ("fast-path grid (s)", round(grid["fastpath_s"], 3)),
+             ("fast-path grid, --jobs (s)",
+              "-" if grid["fastpath_jobs_s"] is None
+              else round(grid["fastpath_jobs_s"], 3)),
+             ("speedup", round(grid["speedup"], 2)),
+             ("values match (<=1e-5)", grid["values_match"]),
+             ("max relative error", f"{grid['max_rel_err']:.2e}")],
+            title="Fig. 16 grid wall-clock") + "\n")
+        path = write_bench_report(report, args.output)
+        out(f"wrote {path}\n")
+        return 0 if grid["values_match"] else 1
 
     if args.command == "sharing":
         iso = tenancy_isolation_study(sim_steps=max(4, args.steps // 2))

@@ -55,6 +55,13 @@ from .recommender import (
     ScoredConfiguration,
     TopologyRecommender,
 )
+from .parallel import (
+    NullCache,
+    ResultCache,
+    default_cache_dir,
+    run_cells,
+)
+from .perfbench import run_perfbench, write_bench_report
 from .runner import ExperimentRecord, run_configuration
 from .tracing import (
     OverheadSplit,
@@ -96,6 +103,12 @@ __all__ = [
     "measure_pair",
     "ExperimentRecord",
     "run_configuration",
+    "ResultCache",
+    "NullCache",
+    "default_cache_dir",
+    "run_cells",
+    "run_perfbench",
+    "write_bench_report",
     "gpu_config_sweep",
     "storage_config_sweep",
     "GPU_CONFIGS",

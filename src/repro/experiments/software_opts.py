@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..core import ComposableSystem
 from ..training import (
     AMP_POLICY,
     DataParallel,
@@ -64,27 +63,37 @@ VARIANTS: tuple[OptVariant, ...] = (
 
 def software_optimization_study(configurations=("localGPUs", "falconGPUs"),
                                 sim_steps: int = 8,
+                                jobs: int = 1, cache=None,
+                                variants=None,
                                 ) -> dict[str, dict[str, float]]:
     """Per-configuration seconds-per-sample for every Fig. 16 variant.
 
     Returns ``{configuration: {variant: time_per_sample_seconds}}`` —
     time per sample is the epoch-time proxy (fine-tuning runs a fixed
     sample count, so per-sample time ratios equal training-time ratios).
+
+    ``jobs``/``cache`` fan the grid out across processes and memoize
+    cells on disk (see :mod:`repro.experiments.parallel`).
     """
+    from .parallel import experiment_cell, run_cells
+
+    configurations = list(configurations)
+    variants = list(variants) if variants is not None else list(VARIANTS)
+    cells = [
+        experiment_cell(
+            "bert-large", config,
+            strategy=variant.strategy_factory(),
+            policy=variant.policy,
+            global_batch=variant.global_batch,
+            sim_steps=sim_steps)
+        for config in configurations for variant in variants
+    ]
+    values = run_cells(cells, jobs=jobs, cache=cache)
     out: dict[str, dict[str, float]] = {}
+    flat = iter(values)
     for config in configurations:
-        out[config] = {}
-        for variant in VARIANTS:
-            system = ComposableSystem()
-            result = system.train(
-                "bert-large",
-                configuration=config,
-                strategy=variant.strategy_factory(),
-                policy=variant.policy,
-                global_batch=variant.global_batch,
-                sim_steps=sim_steps,
-            )
-            out[config][variant.name] = 1.0 / result.throughput
+        out[config] = {variant.name: 1.0 / next(flat)["throughput"]
+                       for variant in variants}
     return out
 
 
@@ -170,31 +179,39 @@ def optimized_ddp_study(benchmark: str = "bert-large",
                         sim_steps: int = 6,
                         pipelines=OPT_PIPELINES,
                         trace_out: Optional[str] = None,
+                        jobs: int = 1, cache=None,
                         ) -> OptimizedDDPStudy:
     """Measure the optimizing plan passes on the Falcon DDP gap.
 
-    Each pipeline gets a fully traced run (so the improvement is visible
-    span-by-span, and exportable as a Chrome trace via ``trace_out``,
-    which captures the *last* — most optimized — pipeline's run).
+    Profiles are computed as cacheable cells (``jobs``/``cache`` fan out
+    and memoize them); with a warm cache the study executes zero
+    simulations.  When ``trace_out`` is set, the *last* — most
+    optimized — pipeline additionally runs live with a wired tracer so
+    its Chrome trace can be exported (that run bypasses the cache: spans
+    are not cacheable scalars).
     """
-    from .tracing import traced_run
+    from .parallel import opt_profile_cell, run_cells
 
+    pipelines = list(pipelines)
     study = OptimizedDDPStudy(benchmark=benchmark,
                               configuration=configuration)
-    last_run = None
-    for name, spec in pipelines:
+    cells = [opt_profile_cell(benchmark, configuration, sim_steps,
+                              name, spec)
+             for name, spec in pipelines]
+    values = run_cells(cells, jobs=jobs, cache=cache)
+    for (name, _spec), value in zip(pipelines, values):
+        study.profiles[name] = OptimizedProfile(
+            pipeline=name,
+            step_time=value["step_time"],
+            exposed_sync=value["exposed_sync"],
+            time_per_sample=value["time_per_sample"])
+    if trace_out and pipelines:
+        from ..telemetry import write_chrome_trace
+        from .tracing import traced_run
+        name, spec = pipelines[-1]
         run = traced_run(
             benchmark, configuration, sim_steps=sim_steps,
             strategy=DistributedDataParallel(), policy=AMP_POLICY,
             plan_passes=spec)
-        study.profiles[name] = OptimizedProfile(
-            pipeline=name,
-            step_time=run.record.step_time,
-            exposed_sync=_exposed_sync_per_step(run),
-            time_per_sample=1.0 / run.record.throughput)
-        last_run = run
-    if trace_out and last_run is not None:
-        from ..telemetry import write_chrome_trace
-        study.trace_path = str(write_chrome_trace(last_run.tracer,
-                                                  trace_out))
+        study.trace_path = str(write_chrome_trace(run.tracer, trace_out))
     return study

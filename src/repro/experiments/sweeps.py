@@ -40,29 +40,39 @@ STORAGE_CONFIGS: tuple[str, ...] = ("localGPUs", "localNVMe", "falconNVMe")
 def _sweep(configs: Iterable[str],
            benchmarks: Optional[Iterable[str]] = None,
            sim_steps: int = DEFAULT_SIM_STEPS,
+           jobs: int = 1, cache=None,
            ) -> dict[str, dict[str, ExperimentRecord]]:
+    from .parallel import experiment_cell, record_from_value, run_cells
+
     keys = list(benchmarks) if benchmarks is not None else benchmark_names()
+    configs = list(configs)
+    cells = [experiment_cell(key, config, sim_steps=sim_steps)
+             for key in keys for config in configs]
+    values = run_cells(cells, jobs=jobs, cache=cache)
     out: dict[str, dict[str, ExperimentRecord]] = {}
+    flat = iter(values)
     for key in keys:
-        out[key] = {}
-        for config in configs:
-            out[key][config] = run_configuration(key, config,
-                                                 sim_steps=sim_steps)
+        out[key] = {config: record_from_value(next(flat))
+                    for config in configs}
     return out
 
 
 def gpu_config_sweep(benchmarks: Optional[Iterable[str]] = None,
                      sim_steps: int = DEFAULT_SIM_STEPS,
+                     jobs: int = 1, cache=None,
                      ) -> dict[str, dict[str, ExperimentRecord]]:
     """Run the Figs. 10-14 sweep."""
-    return _sweep(GPU_CONFIGS, benchmarks, sim_steps)
+    return _sweep(GPU_CONFIGS, benchmarks, sim_steps, jobs=jobs,
+                  cache=cache)
 
 
 def storage_config_sweep(benchmarks: Optional[Iterable[str]] = None,
                          sim_steps: int = DEFAULT_SIM_STEPS,
+                         jobs: int = 1, cache=None,
                          ) -> dict[str, dict[str, ExperimentRecord]]:
     """Run the Fig. 15 sweep."""
-    return _sweep(STORAGE_CONFIGS, benchmarks, sim_steps)
+    return _sweep(STORAGE_CONFIGS, benchmarks, sim_steps, jobs=jobs,
+                  cache=cache)
 
 
 def relative_time_rows(sweep: dict[str, dict[str, ExperimentRecord]],

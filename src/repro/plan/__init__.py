@@ -32,6 +32,13 @@ from .ir import (
 from .validate import PlanValidationError, assert_valid, validate_plan
 from .diff import PlanDiff, diff_plans, format_diff
 from .executor import ExecutionContext, PlanExecution
+from .fastpath import (
+    FastPathUnsupported,
+    PlanTiming,
+    evaluate_plan,
+    fastpath_schedule,
+    fastpath_support,
+)
 from .passes import (
     DEFAULT_PIPELINE,
     PASS_REGISTRY,
@@ -66,6 +73,11 @@ __all__ = [
     "format_diff",
     "ExecutionContext",
     "PlanExecution",
+    "FastPathUnsupported",
+    "PlanTiming",
+    "fastpath_support",
+    "fastpath_schedule",
+    "evaluate_plan",
     "PlanPass",
     "PassContext",
     "PassError",

@@ -76,6 +76,11 @@ class PlanExecution:
     """One in-flight instance of a plan (one optimizer step, all ranks)."""
 
     def __init__(self, plan: StepPlan, ctx: ExecutionContext):
+        if not plan.validated:
+            # Validate each distinct plan once; assert_valid stamps the
+            # plan so the next step's execution skips this entirely.
+            from .validate import assert_valid
+            assert_valid(plan)
         self.plan = plan
         self.ctx = ctx
         self._done: dict = {}          # uid -> done Event

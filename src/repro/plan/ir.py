@@ -228,6 +228,10 @@ class StepPlan:
         self.world_size = world_size
         self.ops: tuple = tuple(ops)
         self.meta: dict = dict(meta or {})
+        #: Stamped True by ``assert_valid`` once the plan passes every
+        #: lint, so repeated executions skip re-validation (monotone: a
+        #: plan's ops are immutable after construction).
+        self.validated = False
         self._by_uid = {}
         for op in self.ops:
             if op.uid in self._by_uid:

@@ -79,10 +79,15 @@ def validate_plan(plan: StepPlan) -> list:
 
 
 def assert_valid(plan: StepPlan) -> StepPlan:
-    """Raise :class:`PlanValidationError` unless the plan is clean."""
+    """Raise :class:`PlanValidationError` unless the plan is clean.
+
+    Stamps ``plan.validated`` on success so executors can skip
+    re-validating the same (immutable) plan on every step.
+    """
     problems = validate_plan(plan)
     if problems:
         raise PlanValidationError(plan.name, problems)
+    plan.validated = True
     return plan
 
 

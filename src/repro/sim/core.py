@@ -27,8 +27,7 @@ Example
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -90,6 +89,12 @@ class Event:
     simulation time.  An event's :attr:`value` is available once it has
     been processed.
     """
+
+    # Events dominate the simulator's allocation profile; __slots__ cuts
+    # per-instance memory and speeds attribute access on the hot path.
+    # Subclasses that add ad-hoc attributes (resources, conditions)
+    # simply omit __slots__ and regain a __dict__.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -167,6 +172,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after ``delay`` units of simulated time."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -183,6 +190,8 @@ class Timeout(Event):
 class Initialize(Event):
     """Immediate event used to start a new process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self.callbacks.append(process._resume)
@@ -198,6 +207,8 @@ class Process(Event):
     processed.  Yielding a failed event re-raises the failure inside the
     generator, allowing ``try/except`` around ``yield``.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -367,7 +378,10 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []
-        self._eid = itertools.count()
+        # Monotonic event id: FIFO tie-break for same-(time, priority)
+        # entries.  A plain int beats itertools.count() here — no
+        # iterator-protocol dispatch on the hottest call in the kernel.
+        self._eid = 0
         self._active_process: Optional[Process] = None
 
     # -- clock ----------------------------------------------------------
@@ -407,9 +421,8 @@ class Environment:
     # -- scheduling -------------------------------------------------------
     def _schedule(self, event: Event, priority: int = NORMAL,
                   delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue,
-            (self._now + delay, priority, next(self._eid), event))
+        self._eid = eid = self._eid + 1
+        heappush(self._queue, (self._now + delay, priority, eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -419,7 +432,7 @@ class Environment:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("no more events")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
+        when, _prio, _eid, event = heappop(self._queue)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -439,18 +452,23 @@ class Environment:
             an :class:`Event` — run until the event is processed and
             return its value (raising if it failed).
         """
+        # Bind the queue and step to locals: the run loop is the hottest
+        # code in the simulator and repeated self-attribute loads add up.
+        queue = self._queue
+        step = self.step
+
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                step()
             return None
 
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
-                if not self._queue:
+                if not queue:
                     raise SimulationError(
                         "simulation ended before the awaited event fired")
-                self.step()
+                step()
             if stop._ok:
                 return stop._value
             stop.defused = True
@@ -460,7 +478,7 @@ class Environment:
         if horizon < self._now:
             raise ValueError(
                 f"until={horizon} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        while queue and queue[0][0] <= horizon:
+            step()
         self._now = horizon
         return None

@@ -12,6 +12,8 @@ from .loop import (
     TrainingInterrupted,
     TrainingJob,
     TrainingResult,
+    clear_plan_compile_cache,
+    plan_compile_stats,
 )
 from .parallel import (
     CompileContext,
@@ -50,6 +52,8 @@ __all__ = [
     "TrainingInterrupted",
     "TrainingJob",
     "TrainingResult",
+    "clear_plan_compile_cache",
+    "plan_compile_stats",
     "ResilienceConfig",
     "RecoveryAction",
     "FaultTolerantTrainingJob",

@@ -53,12 +53,59 @@ from .parallel import (
 from .precision import AMP_POLICY, PrecisionPolicy
 
 __all__ = ["TrainingConfig", "TrainingInterrupted", "TrainingJob",
-           "TrainingResult"]
+           "TrainingResult", "clear_plan_compile_cache",
+           "plan_compile_stats"]
 
 #: Host-side framework footprint (CUDA pinned buffers, Python runtime...).
 HOST_FRAMEWORK_BYTES = 12e9
 #: Warmup steps excluded from step-time statistics.
 WARMUP_STEPS = 2
+
+# Compiling a step plan is pure: its output depends only on the strategy
+# (and its knobs), the cost model scalars, and the device roster.  Sweeps
+# instantiate hundreds of jobs over a handful of distinct cells, so the
+# compiled (pre-pass) plan is memoized process-wide.  Plans are immutable
+# after construction, which makes sharing one instance across jobs safe;
+# pass pipelines run per-job on the shared input and produce new plans.
+_PLAN_COMPILE_CACHE: dict = {}
+_plan_compile_stats = {"hits": 0, "misses": 0}
+
+
+def _plan_compile_key(strategy, costs: StepCosts, world_size: int,
+                      accumulation: int, gpus) -> tuple:
+    policy = costs.policy
+    model = costs.model
+    return (
+        type(strategy).__name__,
+        tuple(sorted((k, repr(v)) for k, v in vars(strategy).items())),
+        (model.name, model.params, model.depth,
+         model.activation_bytes_per_sample(policy.compute)),
+        (policy.name, policy.compute, policy.communication,
+         policy.master_weights, policy.step_overhead),
+        costs.efficiency,
+        costs.batch_per_gpu,
+        costs.forward_flops,
+        costs.backward_flops,
+        costs.forward_hbm_bytes,
+        costs.backward_hbm_bytes,
+        costs.gradient_bytes,
+        costs.weight_bytes,
+        world_size,
+        accumulation,
+        tuple(repr(g.spec) for g in gpus),
+    )
+
+
+def clear_plan_compile_cache() -> None:
+    """Drop all memoized step plans and reset the hit/miss counters."""
+    _PLAN_COMPILE_CACHE.clear()
+    _plan_compile_stats["hits"] = 0
+    _plan_compile_stats["misses"] = 0
+
+
+def plan_compile_stats() -> dict:
+    """``{"hits": int, "misses": int}`` for the step-plan compile memo."""
+    return dict(_plan_compile_stats)
 
 
 class TrainingInterrupted(Exception):
@@ -302,9 +349,22 @@ class TrainingJob:
         # executor replays it every optimizer step.  The checkpoint path
         # compiles the same way, so every device interaction the job
         # performs (outside data loading) is visible as a static op DAG.
-        self.step_plan = config.strategy.compile_step(CompileContext(
-            costs=self.costs, world_size=self.world_size,
-            accumulation=config.accumulation_steps, gpus=gpus))
+        # Identical (strategy, workload, device) cells share one compiled
+        # plan via the process-wide memo — jitter is applied at execution
+        # time, so the plan is independent of it.
+        memo_key = _plan_compile_key(
+            config.strategy, self.costs, self.world_size,
+            config.accumulation_steps, gpus)
+        cached_plan = _PLAN_COMPILE_CACHE.get(memo_key)
+        if cached_plan is not None:
+            _plan_compile_stats["hits"] += 1
+            self.step_plan = cached_plan
+        else:
+            _plan_compile_stats["misses"] += 1
+            self.step_plan = config.strategy.compile_step(CompileContext(
+                costs=self.costs, world_size=self.world_size,
+                accumulation=config.accumulation_steps, gpus=gpus))
+            _PLAN_COMPILE_CACHE[memo_key] = self.step_plan
         #: Per-pass reports when ``config.plan_passes`` is set (else []).
         self.pass_reports: list = []
         if config.plan_passes:

@@ -109,14 +109,18 @@ class TestExecution:
 
 class TestFailureAndCancel:
     def test_collective_error_propagates_out_of_run_rank(self):
-        # Deliberately rank-asymmetric: the validator would reject this
-        # plan; the executor surfaces the communicator's own error.
+        # Deliberately rank-asymmetric: the validator rejects this plan,
+        # so stamp it as validated to sneak past the executor's upfront
+        # check — the point is that the *communicator's* own runtime
+        # error still surfaces for plans that dodge static validation.
         ctx = make_ctx()
         b = PlanBuilder("bad", world_size=2)
         b.collective(0, "grad", "allreduce", 1e6)
         b.collective(1, "grad", "reduce_scatter", 1e6)
+        plan = b.build()
+        plan.validated = True
         with pytest.raises(CollectiveError, match="mismatch"):
-            run_plan(b.build(), ctx)
+            run_plan(plan, ctx)
 
     def test_cancel_abandons_inflight_ops(self):
         ctx = make_ctx()

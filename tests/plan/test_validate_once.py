@@ -1,0 +1,61 @@
+"""``validate_plan`` runs exactly once per plan on the no-pass path."""
+
+from repro.core import ComposableSystem
+from repro.devices.gpu import Precision
+from repro.plan import ExecutionContext, PlanBuilder, PlanExecution
+from repro.plan import validate as validate_mod
+from repro.training import Communicator
+
+
+def make_ctx():
+    system = ComposableSystem()
+    active = system.configure("localGPUs")
+    gpus = list(active.gpus)[:1]
+    comm = Communicator(system.env, system.topology,
+                        [g.name for g in gpus], gpus=gpus)
+    return ExecutionContext(env=system.env, comm=comm, gpus=gpus,
+                            topology=system.topology,
+                            host_node=system.host.dram_node,
+                            storage=active.storage)
+
+
+def tiny_plan():
+    b = PlanBuilder("step", world_size=1)
+    b.compute(0, "forward", flops=1e12, hbm_bytes=0.0,
+              precision=Precision.FP16, efficiency=0.5)
+    return b.build()
+
+
+def counting(monkeypatch):
+    calls = []
+    real = validate_mod.validate_plan
+
+    def spy(plan):
+        calls.append(plan)
+        return real(plan)
+
+    monkeypatch.setattr(validate_mod, "validate_plan", spy)
+    return calls
+
+
+def test_executor_validates_a_fresh_plan_exactly_once(monkeypatch):
+    calls = counting(monkeypatch)
+    ctx = make_ctx()
+    plan = tiny_plan()
+    assert plan.validated is False
+    for _ in range(3):  # replay, as the training loop does every step
+        execution = PlanExecution(plan, ctx)
+        ctx.env.process(execution.run_rank(0))
+        ctx.env.run()
+    assert calls == [plan]
+    assert plan.validated is True
+
+
+def test_prevalidated_plan_skips_the_check(monkeypatch):
+    calls = counting(monkeypatch)
+    ctx = make_ctx()
+    plan = tiny_plan()
+    validate_mod.assert_valid(plan)
+    assert plan.validated is True
+    PlanExecution(plan, ctx)
+    assert calls == [plan]  # only the explicit assert_valid above

@@ -1,0 +1,79 @@
+"""Kernel micro-optimizations must not change observable semantics.
+
+The hot-path classes use ``__slots__`` and the scheduler uses a plain
+integer sequence instead of ``itertools.count`` — these pin the
+allocation profile and re-check the ordering contract the doctests
+document.
+"""
+
+import doctest
+
+import pytest
+
+import repro.sim.core as core
+from repro.sim.core import Environment, Event, Process, Timeout
+
+
+def test_hot_path_classes_have_no_instance_dict():
+    env = Environment()
+    event = Event(env)
+    timeout = env.timeout(1.0)
+
+    def proc():
+        yield env.timeout(0.0)
+
+    process = env.process(proc())
+    for obj in (event, timeout, process):
+        with pytest.raises(AttributeError):
+            obj.__dict__
+        with pytest.raises(AttributeError):
+            obj.scratch = 1  # no accidental attribute creation
+
+
+def test_ordering_doctests_still_pass():
+    results = doctest.testmod(core)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+def test_same_time_events_fire_fifo():
+    env = Environment()
+    order = []
+
+    def waiter(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(8):
+        env.process(waiter(tag))
+    env.run()
+    assert order == list(range(8))
+
+
+def test_urgent_beats_normal_at_same_instant():
+    env = Environment()
+    order = []
+
+    def sleeper():
+        yield env.timeout(1.0)
+        order.append("timeout")
+
+    def succeeder(event):
+        yield env.timeout(1.0)
+        event.succeed()
+
+    event = Event(env)
+    event.callbacks.append(lambda _e: order.append("succeed"))
+    env.process(sleeper())
+    env.process(succeeder(event))
+    env.run()
+    assert order == ["timeout", "succeed"]
+
+
+def test_event_ids_stay_monotonic_across_many_schedules():
+    env = Environment()
+    for _ in range(3):
+        env.run(env.timeout(1.0))
+    first = env._eid
+    env.run(env.timeout(1.0))
+    assert env._eid > first

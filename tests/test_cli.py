@@ -193,7 +193,10 @@ class TestPlanCommand:
         # A compiler emitting a rank-asymmetric plan must be caught by
         # --validate with a nonzero exit, not silently printed.
         from repro.plan import PlanBuilder
-        from repro.training import DistributedDataParallel
+        from repro.training import (
+            DistributedDataParallel,
+            clear_plan_compile_cache,
+        )
 
         def broken(self, ctx):
             b = PlanBuilder("broken", world_size=len(ctx.gpus))
@@ -202,8 +205,15 @@ class TestPlanCommand:
 
         monkeypatch.setattr(DistributedDataParallel, "compile_step",
                             broken)
-        assert main(["plan", "bert-large", "--validate"]) == 1
-        assert "plan problem" in capsys.readouterr().out
+        # The process-wide compile memo would otherwise serve a valid
+        # plan compiled by an earlier test for the same cell — and the
+        # broken plan compiled here must not leak to later tests.
+        clear_plan_compile_cache()
+        try:
+            assert main(["plan", "bert-large", "--validate"]) == 1
+            assert "plan problem" in capsys.readouterr().out
+        finally:
+            clear_plan_compile_cache()
 
     def test_diff_reports_differing_op_counts(self, capsys):
         # The optimized plan has fewer ops than the unoptimized one of

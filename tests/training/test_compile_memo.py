@@ -1,0 +1,66 @@
+"""The process-wide compile memo: identical cells share one step plan."""
+
+import pytest
+
+from repro.core import ComposableSystem
+from repro.training import (
+    DistributedDataParallel,
+    TrainingConfig,
+    TrainingJob,
+    clear_plan_compile_cache,
+    plan_compile_stats,
+)
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_plan_compile_cache()
+    yield
+    clear_plan_compile_cache()
+
+
+def build_job(config_name="localGPUs", **cfg_kwargs):
+    system = ComposableSystem()
+    active = system.configure(config_name)
+    cfg = TrainingConfig(benchmark=get_benchmark("bert-large"),
+                         strategy=DistributedDataParallel(),
+                         **cfg_kwargs)
+    return TrainingJob(system.env, system.topology, system.host,
+                       list(active.gpus), active.storage, cfg)
+
+
+def test_identical_jobs_hit_the_memo():
+    first = build_job()
+    assert plan_compile_stats() == {"hits": 0, "misses": 1}
+    second = build_job()
+    assert plan_compile_stats() == {"hits": 1, "misses": 1}
+    # Hits share the very same compiled plan object.
+    assert second.step_plan is first.step_plan
+
+
+def test_different_cells_miss():
+    build_job()
+    build_job(config_name="falconGPUs")  # different GPU attachment
+    build_job(global_batch=16)           # different batch
+    assert plan_compile_stats()["misses"] == 3
+    assert plan_compile_stats()["hits"] == 0
+
+
+def test_passes_do_not_poison_the_shared_plan():
+    plain = build_job()
+    optimized = build_job(plan_passes="all")
+    # The pass pipeline hit the memo for the pre-pass plan, then rewrote
+    # a copy — the cached plan itself must stay untouched.
+    assert plan_compile_stats() == {"hits": 1, "misses": 1}
+    assert optimized.step_plan is not plain.step_plan
+    again = build_job()
+    assert again.step_plan is plain.step_plan
+
+
+def test_clear_resets_stats_and_entries():
+    build_job()
+    clear_plan_compile_cache()
+    assert plan_compile_stats() == {"hits": 0, "misses": 0}
+    build_job()
+    assert plan_compile_stats() == {"hits": 0, "misses": 1}
