@@ -12,6 +12,9 @@ Usage::
     python -m repro sharing                 # future-work tenancy studies
     python -m repro fault-tolerance [--config NAME] [--steps N] [--seed S]
                                             # chaos + recovery study
+    python -m repro elasticity [--benchmark B] [--steps N] [--smoke]
+                               [--output study.json]
+                                            # elastic resize study
     python -m repro recommend <benchmark>   # topology recommendation
     python -m repro train <benchmark> [--config NAME] [--steps N]
                                             [--export out.csv|out.json]
@@ -109,6 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="do not install a standby chassis GPU")
     ft.add_argument("--sweep", action="store_true",
                     help="also sweep checkpoint cadence under a port flap")
+
+    el = sub.add_parser("elasticity",
+                        help="elastic training study: resize cost, "
+                             "lost work vs checkpoint-restart, "
+                             "autoscaling policies")
+    el.add_argument("--benchmark", default="resnet50",
+                    choices=benchmark_names())
+    el.add_argument("--steps", type=int, default=12)
+    el.add_argument("--smoke", action="store_true",
+                    help="small run for CI; also verifies the batch "
+                         "invariant and exits non-zero on violation")
+    el.add_argument("--output", default=None, metavar="PATH",
+                    help="write the full study JSON here")
 
     rec = sub.add_parser("recommend",
                          help="recommend a topology for a benchmark")
@@ -225,7 +241,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         out("artifacts: table1 table2 table3 table4 fig5 fig9 fig10 "
             "fig11 fig12 fig13 fig14 fig15 fig16 sharing "
-            "fault-tolerance\n")
+            "fault-tolerance elasticity\n")
         out("benchmarks: " + " ".join(benchmark_names()) + "\n")
         out("configurations: " + " ".join(CONFIGURATION_ORDER) + "\n")
         return 0
@@ -453,6 +469,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 [(s.checkpoint_interval, round(s.goodput, 1),
                   s.lost_steps, round(s.wall_time, 2)) for s in sweep],
                 title="Checkpoint cadence under H1 port flap") + "\n")
+        return 0
+
+    if args.command == "elasticity":
+        import json
+
+        from .experiments import elasticity_study
+        study = elasticity_study(benchmark=args.benchmark,
+                                 sim_steps=args.steps, smoke=args.smoke)
+        acc = study["acceptance"]
+        out(render_table(
+            ["Metric", "Value"],
+            [("completed", acc["completed"]),
+             ("resizes", acc["resizes"]),
+             ("world trajectory",
+              " ".join(str(w) for w in acc["world_trajectory"])),
+             ("effective batch (per step)",
+              " ".join(str(b) for b in set(acc["effective_batches"]))),
+             ("batch invariant", acc["batch_invariant"]),
+             ("mean recompose (s)", round(acc["mean_recompose_s"], 3)),
+             ("mean reshard (s)", round(acc["mean_reshard_s"], 4))],
+            title=f"{args.benchmark}: one shrink + one grow "
+                  "(acceptance)") + "\n\n")
+        lost = study["lost_work"]
+        out(render_table(
+            ["Recovery", "Lost steps", "Goodput", "Wall s"],
+            [(k, lost[k]["lost_steps"],
+              round(lost[k]["goodput_samples_s"], 1),
+              round(lost[k]["wall_time_s"], 2))
+             for k in ("elastic", "checkpoint_restart")],
+            title=f"Lost work (saved: {lost['lost_steps_saved']} steps)")
+            + "\n\n")
+        out(render_table(
+            ["Resizes", "Goodput", "Completed"],
+            [(r["label"], round(r["goodput_samples_s"], 1),
+              r["completed"]) for r in study["reconfiguration_sweep"]],
+            title="Goodput vs reconfiguration frequency") + "\n\n")
+        out(render_table(
+            ["Policy", "Final world", "Wasted grows", "Goodput"],
+            [(k, r["final_world_size"], r["grow_abandoned"],
+              round(r["goodput_samples_s"], 1))
+             for k, r in study["autoscalers"].items()],
+            title="Autoscaling policies") + "\n")
+        if args.output:
+            with open(args.output, "w") as fh:
+                json.dump(study, fh, indent=1)
+            out(f"wrote {args.output}\n")
+        if args.smoke:
+            ok = (acc["completed"] and acc["batch_invariant"]
+                  and acc["resizes"] >= 2
+                  and study["lost_work"]["lost_steps_saved"] > 0)
+            out("smoke OK\n" if ok else "smoke FAILED\n")
+            return 0 if ok else 1
         return 0
 
     if args.command == "recommend":

@@ -1,0 +1,30 @@
+"""Elastic training: mid-run recomposition on the composable system.
+
+The composable system's hot-plug capability is not just a repair lever —
+it lets a *running* job change size: grow onto GPUs another tenant
+freed, shrink away from a preempted drawer, and keep training through
+either.  This package supplies the three pieces the fault-tolerant
+runtime needs to do that:
+
+* :class:`~repro.elastic.virtual.VirtualBatchSpec` — virtual-node batch
+  semantics keeping the effective global batch (and micro-batch shape)
+  invariant across world sizes.
+* :class:`~repro.elastic.job.ElasticTrainingJob` — the runtime subclass
+  implementing the safe-point resize protocol (requests latch, step
+  boundaries commit) over the shared recomposition path.
+* :mod:`~repro.elastic.autoscaler` — grow policies (eager vs.
+  hysteresis) the elasticity study compares.
+"""
+
+from .autoscaler import AutoscalePolicy, EagerGrowPolicy, HysteresisPolicy
+from .job import ElasticTrainingJob, ResizeSignal
+from .virtual import VirtualBatchSpec
+
+__all__ = [
+    "AutoscalePolicy",
+    "EagerGrowPolicy",
+    "HysteresisPolicy",
+    "ElasticTrainingJob",
+    "ResizeSignal",
+    "VirtualBatchSpec",
+]

@@ -18,7 +18,9 @@ Beyond the paper: :mod:`~repro.experiments.sharing` (advanced-mode
 tenancy, ring placement, reconfiguration), :mod:`~repro.experiments.
 resilience` (degraded uplinks), :mod:`~repro.experiments.
 fault_tolerance` (chaos scenarios vs checkpoint-restart + hot-plug
-recovery), :mod:`~repro.experiments.scale_out`
+recovery), :mod:`~repro.experiments.elasticity` (mid-run recomposition:
+resize cost, lost work vs checkpoint-restart, autoscaling policies),
+:mod:`~repro.experiments.scale_out`
 (NVLink vs PCIe fabric vs Ethernet), :mod:`~repro.experiments.
 dual_connection` (paper §III-B cabling), :mod:`~repro.experiments.
 scaling_laws` (what actually drives the size-overhead correlation),
@@ -27,6 +29,14 @@ framework), and :mod:`~repro.experiments.export` (CSV/JSON writers).
 """
 
 from .dual_connection import DualConnectionResult, dual_connection_study
+from .elasticity import (
+    ElasticityRecord,
+    autoscaler_comparison,
+    elastic_resize_run,
+    elasticity_study,
+    lost_work_comparison,
+    reconfiguration_sweep,
+)
 from .fault_tolerance import (
     FaultToleranceRecord,
     cable_pull_scenario,
@@ -142,6 +152,12 @@ __all__ = [
     "cable_pull_scenario",
     "fault_tolerance_study",
     "checkpoint_cadence_sweep",
+    "ElasticityRecord",
+    "elastic_resize_run",
+    "lost_work_comparison",
+    "reconfiguration_sweep",
+    "autoscaler_comparison",
+    "elasticity_study",
     "ScaleOutResult",
     "allreduce_scale_out_study",
     "DualConnectionResult",

@@ -64,14 +64,43 @@ class Inventory:
 
     # -- hot-plug operations ----------------------------------------------
     def attach(self, name: str, host_id: str) -> None:
-        """Allocate a registered device to a host (hot-add)."""
+        """Allocate a registered device to a host (hot-add).
+
+        Raises :class:`InventoryError` naming the contending owner when
+        the device is already claimed — elastic runtimes racing for the
+        same spare need to know *who* won to decide whether to back off
+        and retry or abandon the grow.
+        """
         self.gpu(name)  # must be managed
-        self.mcs.attach(self.actor, name, host_id)
+        try:
+            owner = self.falcon.owner_of(name)
+        except FalconError as exc:  # removed from the chassis
+            raise InventoryError(str(exc)) from exc
+        if owner is not None:
+            if owner == host_id:
+                return  # already ours: attach is idempotent per owner
+            raise InventoryError(
+                f"{name!r} is already held by {owner!r}; "
+                f"cannot attach to {host_id!r}")
+        try:
+            self.mcs.attach(self.actor, name, host_id)
+        except FalconError as exc:  # lost a race between check and claim
+            raise InventoryError(str(exc)) from exc
 
     def detach(self, name: str) -> None:
-        """Release a registered device from its host (hot-remove)."""
+        """Release a registered device from its host (hot-remove).
+
+        Idempotent: detaching an already-free device is a no-op, so
+        recovery paths can release speculatively claimed spares without
+        tracking whether the claim succeeded.
+        """
         self.gpu(name)
-        self.mcs.detach(self.actor, name)
+        try:
+            if self.falcon.owner_of(name) is None:
+                return
+            self.mcs.detach(self.actor, name)
+        except FalconError as exc:
+            raise InventoryError(str(exc)) from exc
 
     def replace_gpu(self, failed_name: str, host_id: str):
         """Swap a dead GPU for a spare; returns the replacement device.

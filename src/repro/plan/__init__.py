@@ -49,6 +49,7 @@ from .passes import (
     PlanPass,
     resolve_passes,
 )
+from .reshard import compile_reshard, splice_plans
 
 __all__ = [
     "Op",
@@ -86,4 +87,6 @@ __all__ = [
     "PASS_REGISTRY",
     "DEFAULT_PIPELINE",
     "resolve_passes",
+    "compile_reshard",
+    "splice_plans",
 ]

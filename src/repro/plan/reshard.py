@@ -1,0 +1,159 @@
+"""State-redistribution plans for elastic resize (grow/shrink/swap).
+
+When a training ring changes membership mid-run, the new ring cannot
+simply start computing: every member needs a full parameter replica, and
+sharded optimizers need their partitions re-cut for the new world size.
+:func:`compile_reshard` expresses that redistribution as a regular
+:class:`~repro.plan.ir.StepPlan` — P2P replica restores from surviving
+ranks to joining ranks, plus (for sharded state) an all-gather that
+re-partitions optimizer shards — so the traffic runs over the *real*
+modelled fabric through the same executor (or fast path) as any training
+step, and the same validation passes lint it.
+
+The two recovery moves PR 1 hard-coded are degenerate cases of this one
+plan: a hot-spare swap is a reshard with exactly one joining rank, and
+an N-1 ring shrink is a reshard with no joining ranks (pure rendezvous —
+survivors already hold full replicas; only the exit barrier remains).
+
+:func:`splice_plans` concatenates a reshard plan in front of a freshly
+compiled step plan so the resumed job's first optimizer step *is* the
+recomposition: state redistribution and the new ring's first step are one
+op DAG on the executor's timeline, with cross-rank barrier semantics
+guaranteeing no step op starts before every rank's state landed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from .ir import Barrier, Collective, PlanBuilder, PlanError, StepPlan
+from .validate import assert_valid
+
+__all__ = ["compile_reshard", "splice_plans"]
+
+#: meta key carrying each rank's final (exit-barrier) uid, used by
+#: :func:`splice_plans` to anchor the second plan's roots.
+_EXIT_UIDS = "reshard_exit_uids"
+
+
+def compile_reshard(new_names: Sequence[str], old_names: Sequence[str],
+                    replica_bytes: float, shard_bytes: float = 0.0,
+                    name: str = "reshard") -> StepPlan:
+    """Compile the state-redistribution plan for one ring resize.
+
+    Parameters
+    ----------
+    new_names:
+        GPU node names of the ring *after* the resize, in ring order;
+        the plan's rank ``i`` runs on ``new_names[i]``.
+    old_names:
+        Membership before the resize.  Ranks whose node appears here are
+        *survivors* (they hold a full replica); the rest are *joining*
+        and receive one over P2P from a survivor (round-robin, so
+        several joiners draw from different donors and the restores
+        overlap on disjoint fabric paths).
+    replica_bytes:
+        Serialized per-rank training state a joiner must receive
+        (FP32 master weights + optimizer moments, checkpoint-sized).
+    shard_bytes:
+        Per-rank optimizer-shard payload for sharded (ZeRO) strategies:
+        after replicas land, every rank all-gathers this much to re-cut
+        the partition at the new world size.  ``0`` for replicated
+        strategies (DDP/DP) — survivors already agree on full state.
+    """
+    world = len(new_names)
+    if world < 1:
+        raise PlanError("reshard needs a non-empty new ring")
+    if len(set(new_names)) != world:
+        raise PlanError("duplicate nodes in the new ring")
+    old = set(old_names)
+    survivors = [r for r, n in enumerate(new_names) if n in old]
+    joining = [r for r, n in enumerate(new_names) if n not in old]
+    if not survivors:
+        raise PlanError(
+            "reshard needs at least one surviving rank to source state "
+            "from; restore from checkpoint instead")
+
+    b = PlanBuilder(name, world, meta={
+        "strategy": "reshard",
+        "joined": [new_names[r] for r in joining],
+        "departed": sorted(old - set(new_names)),
+    })
+    # Replica restores: donor ranks stream full state to joiners.  The
+    # plan needs no entry barrier — the splice (or the job start) only
+    # releases these roots once the previous program drained; the *exit*
+    # barrier is what carries correctness (no downstream op starts
+    # before every rank's state landed).
+    last: dict = {}
+    for i, dst in enumerate(joining):
+        donor = survivors[i % len(survivors)]
+        copy = b.p2p(donor, f"restore-{new_names[dst]}", dst,
+                     replica_bytes, deps=[last.get(donor)],
+                     label="reshard", payload="replica-state")
+        last[donor] = copy
+        last[dst] = copy  # the joiner's exit waits on its incoming copy
+    if joining:
+        b.declare_conservation("replica-state",
+                               len(joining) * replica_bytes)
+    # Sharded optimizers re-cut their partition at the new world size.
+    if shard_bytes > 0 and world > 1:
+        for r in range(world):
+            last[r] = b.collective(r, "repartition", "all_gather",
+                                   shard_bytes, deps=[last.get(r)],
+                                   payload="shard-state")
+        b.declare_conservation("shard-state", world * shard_bytes)
+    exits = {r: b.barrier(r, "reshard-exit", deps=[last.get(r)],
+                          traced=False)
+             for r in range(world)}
+    plan = b.build()
+    plan.meta[_EXIT_UIDS] = dict(exits)
+    return assert_valid(plan)
+
+
+def splice_plans(first: StepPlan, second: StepPlan,
+                 name: Optional[str] = None) -> StepPlan:
+    """Concatenate two plans into one: ``second`` starts after ``first``.
+
+    Every root op of ``second`` (an op with no deps of its own) gains a
+    dependency on its rank's final op in ``first``, so each rank drains
+    the first program before entering the second.  Uids from ``second``
+    that collide with ``first`` are suffixed ``+s`` (deps remapped);
+    conservation declarations merge by payload (summing totals shared by
+    both halves).
+    """
+    if first.world_size != second.world_size:
+        raise PlanError(
+            f"cannot splice plans of world {first.world_size} and "
+            f"{second.world_size}")
+    taken = {op.uid for op in first}
+    rename = {op.uid: (op.uid if op.uid not in taken else op.uid + "+s")
+              for op in second}
+    tails = first.meta.get(_EXIT_UIDS) or {
+        rank: first.by_rank(rank)[-1].uid
+        for rank in range(first.world_size)
+        if first.by_rank(rank)}
+    ops = list(first)
+    for op in second:
+        deps = tuple(rename[d] for d in op.deps)
+        if not deps and op.rank in tails:
+            deps = (tails[op.rank],)
+        ops.append(dataclasses.replace(op, uid=rename[op.uid], deps=deps))
+    conservation: dict = {}
+    for plan in (first, second):
+        for payload, total in plan.meta.get("conservation", {}).items():
+            conservation[payload] = conservation.get(payload, 0.0) + total
+    meta = {"strategy": f"splice({first.name},{second.name})",
+            "spliced": [first.name, second.name]}
+    if conservation:
+        meta["conservation"] = conservation
+    return assert_valid(StepPlan(
+        name or f"{first.name}+{second.name}",
+        first.world_size, ops, meta))
+
+
+def is_rendezvous_only(plan: StepPlan) -> bool:
+    """True when a reshard moves no bytes (pure barrier quiesce)."""
+    return all(isinstance(op, Barrier)
+               or (isinstance(op, Collective) and op.bytes == 0)
+               for op in plan)

@@ -31,6 +31,7 @@ from .resilience import (
     FaultTolerantTrainingJob,
     RecoveryAction,
     ResilienceConfig,
+    ResizeEvent,
 )
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "plan_compile_stats",
     "ResilienceConfig",
     "RecoveryAction",
+    "ResizeEvent",
     "FaultTolerantTrainingJob",
     "FaultTolerantResult",
 ]

@@ -92,7 +92,12 @@ def _plan_compile_key(strategy, costs: StepCosts, world_size: int,
         costs.weight_bytes,
         world_size,
         accumulation,
-        tuple(repr(g.spec) for g in gpus),
+        # Membership, not just shape: elastic resize recompiles at the
+        # same world size but a different rank roster (a hot-swapped
+        # spare, a parked straggler), and rank identity feeds the
+        # execution context — a recompiled post-resize plan must never
+        # alias a stale entry keyed only by GPU specs.
+        tuple((g.name, repr(g.spec)) for g in gpus),
     )
 
 
@@ -287,7 +292,8 @@ class TrainingJob:
                  host: HostServer, gpus: list[GPU],
                  storage: StorageDevice, config: TrainingConfig,
                  collector: Optional[MetricsCollector] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 prologue_plan=None):
         if not gpus:
             raise ValueError("training needs at least one GPU")
         self.env = env
@@ -379,6 +385,18 @@ class TrainingJob:
                 rank_nodes=[g.name for g in gpus],
                 host_node=host.dram_node))
             self.pass_reports = manager.reports
+        # Elastic resume: a state-redistribution plan spliced in front of
+        # the first optimizer step, so resharding traffic and the new
+        # ring's first step share one op DAG on the executor's timeline.
+        if prologue_plan is not None:
+            from ..plan import splice_plans
+            if prologue_plan.world_size != self.world_size:
+                raise ValueError(
+                    f"prologue plan world {prologue_plan.world_size} != "
+                    f"job world {self.world_size}")
+            self._step0_plan = splice_plans(prologue_plan, self.step_plan)
+        else:
+            self._step0_plan = self.step_plan
         self.checkpoint_plan, self._ckpt_uids = self._compile_checkpoint()
         self._exec_ctx = ExecutionContext(
             env=env, comm=self.comm, gpus=gpus, topology=topology,
@@ -717,7 +735,8 @@ class TrainingJob:
                 if rank in self._input_ranks:
                     with tracer.span("wait-data", Category.STALL, track):
                         yield self._device_queues[rank].get()
-                execution = self._execution(("step", step), self.step_plan)
+                plan = self._step0_plan if step == 0 else self.step_plan
+                execution = self._execution(("step", step), plan)
                 yield from execution.run_rank(rank)
                 if execution.all_ranks_done:
                     self._executions.pop(("step", step), None)

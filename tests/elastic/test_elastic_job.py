@@ -1,0 +1,326 @@
+"""Elastic runtime: safe-point resizes, batch invariance, edge cases."""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultInjector
+from repro.core import ComposableSystem
+from repro.elastic import ElasticTrainingJob, ResizeSignal, VirtualBatchSpec
+from repro.management.inventory import InventoryError
+from repro.training import ResilienceConfig, TrainingConfig
+from repro.workloads import get_benchmark
+
+
+def small_config(**overrides):
+    defaults = dict(benchmark=get_benchmark("resnet50"), global_batch=8,
+                    sim_steps=6, sim_checkpoints=0,
+                    checkpoint_interval_steps=2)
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+def make_elastic(system, gpus, virtual_nodes, config=None, **overrides):
+    kwargs = dict(
+        resilience=ResilienceConfig(backoff_initial=0.05,
+                                    reattach_attempts=2),
+        inventory=system.inventory,
+        event_log=system.mcs.log,
+        virtual_batch=VirtualBatchSpec(virtual_nodes, 8))
+    kwargs.update(overrides)
+    return ElasticTrainingJob(system.env, system.topology, system.host,
+                              gpus, system.host.scratch,
+                              config or small_config(), **kwargs)
+
+
+def request_at_step(ft, at_step, kind, targets=()):
+    """Latch a resize request at one global-step boundary, once."""
+    fired = {}
+    total = ft.config.sim_steps
+
+    def arm(job, attempt):
+        def on_step(steps_done, now):
+            gstep = total - job.config.sim_steps + steps_done
+            if gstep == at_step and "done" not in fired:
+                fired["done"] = True
+                ft.request_resize(kind, targets)
+        job.add_step_listener(on_step)
+
+    ft.on_attempt.append(arm)
+
+
+def test_resize_signal_rejects_unknown_kinds():
+    with pytest.raises(ValueError, match="resize kind"):
+        ResizeSignal("explode")
+
+
+def test_initial_world_must_divide_virtual_nodes():
+    system = ComposableSystem()
+    with pytest.raises(ValueError, match="does not divide"):
+        make_elastic(system, system.falcon_gpus[:2], virtual_nodes=1)
+
+
+def test_virtual_batch_must_match_config_batch():
+    system = ComposableSystem()
+    with pytest.raises(ValueError, match="global batch"):
+        make_elastic(system, system.falcon_gpus[:4], virtual_nodes=4,
+                     virtual_batch=VirtualBatchSpec(4, 16))
+
+
+@pytest.mark.chaos
+class TestScheduledResizes:
+    def test_shrink_then_grow_keeps_effective_batch_every_step(self):
+        # The acceptance property: one shrink and one grow, and every
+        # optimizer step in the ledger trained the same global batch.
+        system = ComposableSystem()
+        ft = make_elastic(system, system.falcon_gpus[:4], virtual_nodes=4)
+        # A request latched at boundary k is polled at boundary k+1 (the
+        # runtime's poll precedes the test's latch listener).
+        request_at_step(ft, 1, "shrink", (ft.gpus[-1].name,))
+        request_at_step(ft, 3, "grow")
+        result = ft.run()
+
+        assert result.completed
+        assert result.faults == 0
+        assert result.resizes == 2
+        assert result.lost_steps == 0  # safe points lose no work
+        assert [e.kind for e in result.resize_log] == ["shrink", "grow"]
+        steps = [s for s, _, _ in ft.step_ledger]
+        assert steps == list(range(1, 7))  # every step, exactly once
+        worlds = [w for _, w, _ in ft.step_ledger]
+        assert worlds == [4, 4, 2, 2, 4, 4]
+        batches = {b for _, _, b in ft.step_ledger}
+        assert batches == {8}  # the invariant, asserted per-step
+
+    def test_shrink_snaps_to_feasible_world_and_parks_the_odd_gpu(self):
+        # Dropping one member of a 4-ring leaves 3 GPUs, but 3 does not
+        # divide V=4: the runtime keeps 2 and parks the third.
+        system = ComposableSystem()
+        ft = make_elastic(system, system.falcon_gpus[:4], virtual_nodes=4)
+        request_at_step(ft, 2, "shrink", (ft.gpus[-1].name,))
+        result = ft.run()
+
+        assert result.completed
+        assert result.final_world_size == 2
+        kinds = [a.kind for a in result.recovery_log]
+        assert "gpu_parked" in kinds
+        parked = result.resize_log[0].parked
+        assert len(parked) == 1
+        # Parked back to the spare pool, claimable by a later grow.
+        assert system.falcon.owner_of(parked[0]) is None
+
+    def test_shrink_to_world_one(self):
+        system = ComposableSystem()
+        ft = make_elastic(system, system.falcon_gpus[:2], virtual_nodes=2,
+                          config=small_config(sim_steps=4))
+        request_at_step(ft, 1, "shrink", (ft.gpus[-1].name,))
+        result = ft.run()
+
+        assert result.completed
+        assert result.final_world_size == 1
+        assert [w for _, w, _ in ft.step_ledger] == [2, 2, 1, 1]
+        assert {b for _, _, b in ft.step_ledger} == {8}
+        # A lone rank still runs a valid (rendezvous-only) reshard.
+        assert result.resize_log[0].reshard_bytes == 0.0
+
+    def test_shrink_away_everything_gives_up_with_a_reason(self):
+        system = ComposableSystem()
+        ft = make_elastic(system, system.falcon_gpus[:2], virtual_nodes=2,
+                          config=small_config(sim_steps=4))
+        request_at_step(ft, 2, "shrink",
+                        tuple(g.name for g in ft.gpus))
+        result = ft.run()
+
+        assert not result.completed
+        assert "empty the ring" in result.interrupted_reason
+
+
+@pytest.mark.chaos
+class TestSafePointDeferral:
+    def test_mid_step_request_defers_to_the_next_boundary(self):
+        # A request arriving while a step's collectives are in flight
+        # must not preempt them: the resize lands at the boundary and
+        # the in-flight step completes and counts.
+        system = ComposableSystem()
+        for name in ("falcon0/gpu2", "falcon0/gpu3"):
+            system.inventory.detach(name)
+        ft = make_elastic(system, system.falcon_gpus[:2], virtual_nodes=4)
+
+        def arm(job, attempt):
+            if attempt != 1:
+                return
+
+            def on_step(steps_done, now):
+                if steps_done == 1:
+                    def later():
+                        yield system.env.timeout(1e-6)  # mid-step 2
+                        ft.request_resize("grow")
+                    system.env.process(later())
+
+            job.add_step_listener(on_step)
+
+        ft.on_attempt.append(arm)
+        result = ft.run()
+
+        assert result.completed
+        assert result.lost_steps == 0
+        requested = [a for a in result.recovery_log
+                     if a.kind == "resize_requested"]
+        # Step 2 ran to completion before the resize took effect.
+        assert requested[0].detail["steps_completed"] == 2
+        assert [w for _, w, _ in ft.step_ledger] == [2, 2, 4, 4, 4, 4]
+        assert {b for _, _, b in ft.step_ledger} == {8}
+
+    def test_resize_during_checkpoint_write_keeps_the_checkpoint(self):
+        # The request lands while the step-2 checkpoint is streaming to
+        # scratch: the write must complete (durable) and the resize
+        # defers to the *next* boundary.
+        system = ComposableSystem()
+        for name in ("falcon0/gpu2", "falcon0/gpu3"):
+            system.inventory.detach(name)
+        ft = make_elastic(system, system.falcon_gpus[:2], virtual_nodes=4)
+        checkpoints = []
+        request_time = {}
+
+        def arm(job, attempt):
+            job.add_checkpoint_listener(
+                lambda step, now: checkpoints.append((step, now)))
+            if attempt != 1:
+                return
+
+            def on_step(steps_done, now):
+                if steps_done == 2:  # fires before the checkpoint starts
+                    def mid_write():
+                        yield system.env.timeout(1e-6)
+                        request_time["t"] = system.env.now
+                        ft.request_resize("grow")
+                    system.env.process(mid_write())
+
+            job.add_step_listener(on_step)
+
+        ft.on_attempt.append(arm)
+        result = ft.run()
+
+        assert result.completed
+        # The step-2 checkpoint (index 1) landed despite the request...
+        ck_steps = [step for step, _ in checkpoints]
+        assert 1 in ck_steps
+        ck_time = next(t for step, t in checkpoints if step == 1)
+        # ...which provably arrived while the write was in flight...
+        assert request_time["t"] < ck_time
+        # ...and the resize waited for the step-3 boundary.
+        requested = [a for a in result.recovery_log
+                     if a.kind == "resize_requested"]
+        assert requested[0].detail["steps_completed"] == 3
+        assert result.resize_log[0].time >= ck_time
+        assert [w for _, w, _ in ft.step_ledger] == [2, 2, 2, 4, 4, 4]
+
+
+@pytest.mark.chaos
+class TestGrowContention:
+    def setup_grow(self, system):
+        for name in ("falcon0/gpu2", "falcon0/gpu3"):
+            system.inventory.detach(name)
+        ft = make_elastic(system, system.falcon_gpus[:2], virtual_nodes=4)
+        request_at_step(ft, 2, "grow")
+        return ft
+
+    def test_contended_spare_backs_off_and_retries(self, monkeypatch):
+        system = ComposableSystem()
+        ft = self.setup_grow(system)
+        real_attach = system.inventory.attach
+        calls = {"n": 0}
+
+        def flaky_attach(name, host_id):
+            calls["n"] += 1
+            if calls["n"] == 1:  # lost the first claim race
+                raise InventoryError(
+                    f"{name!r} is already held by 'tenant-b'; "
+                    f"cannot attach to {host_id!r}")
+            return real_attach(name, host_id)
+
+        monkeypatch.setattr(system.inventory, "attach", flaky_attach)
+        result = ft.run()
+
+        assert result.completed
+        assert result.final_world_size == 4
+        contended = [a for a in result.recovery_log
+                     if a.kind == "inventory_contended"]
+        assert len(contended) == 1
+        assert "tenant-b" in contended[0].detail["reason"]
+        assert "grow_abandoned" not in [a.kind for a in result.recovery_log]
+
+    def test_exhausted_contention_abandons_the_grow(self, monkeypatch):
+        system = ComposableSystem()
+        ft = self.setup_grow(system)
+
+        def always_contended(name, host_id):
+            raise InventoryError(
+                f"{name!r} is already held by 'tenant-b'; "
+                f"cannot attach to {host_id!r}")
+
+        monkeypatch.setattr(system.inventory, "attach", always_contended)
+        result = ft.run()
+
+        # The grow bought nothing, but the job keeps training.
+        assert result.completed
+        assert result.final_world_size == 2
+        abandoned = [a for a in result.recovery_log
+                     if a.kind == "grow_abandoned"]
+        assert abandoned[0].detail["reason"] == "inventory contended"
+        assert {b for _, _, b in ft.step_ledger} == {8}
+
+    def test_inadmissible_lone_spare_abandons_before_claiming(self):
+        # One free GPU cannot take a 2-ring to a feasible world (3 does
+        # not divide V=4): the grow is abandoned without any claim.
+        system = ComposableSystem()
+        system.inventory.detach("falcon0/gpu2")
+        ft = make_elastic(system, system.falcon_gpus[:2], virtual_nodes=4)
+        request_at_step(ft, 2, "grow")
+        result = ft.run()
+
+        assert result.completed
+        assert result.final_world_size == 2
+        abandoned = [a for a in result.recovery_log
+                     if a.kind == "grow_abandoned"]
+        assert abandoned[0].detail["reason"] == "no feasible larger world"
+        assert system.falcon.owner_of("falcon0/gpu2") is None
+
+
+@pytest.mark.chaos
+class TestFaultDrivenShrink:
+    def test_replicated_fault_recovers_live_state_without_rollback(self):
+        # A real GPU loss on a replicated strategy: survivors hold full
+        # state, so the elastic runtime resumes from the last completed
+        # step instead of the last checkpoint.
+        system = ComposableSystem()
+        injector = FaultInjector(system.env, system.topology,
+                                 falcon=system.falcon,
+                                 event_log=system.mcs.log)
+        ft = make_elastic(
+            system, system.falcon_gpus[:4], virtual_nodes=4,
+            resilience=ResilienceConfig(backoff_initial=0.05,
+                                        reattach_attempts=2,
+                                        allow_hot_spare=False))
+        fired = {}
+
+        def arm(job, attempt):
+            def on_step(steps_done, now):
+                gstep = ft.config.sim_steps - job.config.sim_steps \
+                    + steps_done
+                if gstep == 3 and "done" not in fired:
+                    fired["done"] = True
+                    injector.apply(FaultEvent(now, "gpu_drop",
+                                              "node:falcon0/gpu1"))
+            job.add_step_listener(on_step)
+
+        ft.on_attempt.append(arm)
+        result = ft.run()
+
+        assert result.completed
+        assert result.faults == 1
+        assert result.final_world_size == 2
+        assert result.lost_steps == 0  # no checkpoint rollback
+        kinds = [a.kind for a in result.recovery_log]
+        assert "live_state_recovered" in kinds
+        assert "checkpoint_rollback" not in kinds
+        assert {b for _, _, b in ft.step_ledger} == {8}
+        assert result.resize_log[0].kind == "shrink"

@@ -1,0 +1,112 @@
+"""Elasticity study: resize cost, lost work, autoscaling policies."""
+
+import pytest
+
+from repro.experiments import (
+    autoscaler_comparison,
+    elastic_resize_run,
+    elasticity_study,
+    lost_work_comparison,
+    reconfiguration_sweep,
+)
+
+
+@pytest.mark.chaos
+class TestAcceptanceRun:
+    def test_survives_one_shrink_and_one_grow(self):
+        r = elastic_resize_run(sim_steps=10)
+        assert r.completed
+        assert r.faults == 1  # the gpu drop
+        assert r.resizes == 2  # fault-driven shrink + operator grow
+        assert r.final_world_size == 4  # full width restored
+        worlds = set(r.world_trajectory)
+        assert 2 in worlds and 4 in worlds
+
+    def test_effective_global_batch_identical_at_every_step(self):
+        # The headline invariant: the same global batch at every
+        # optimizer step, across the shrink and the grow.
+        r = elastic_resize_run(sim_steps=10)
+        assert len(r.effective_batches) == r.total_steps
+        assert r.batch_invariant
+        assert set(r.effective_batches) == {8}
+
+    def test_replicated_strategy_loses_no_work(self):
+        r = elastic_resize_run(sim_steps=10)
+        assert r.lost_steps == 0
+        assert "live_state_recovered" in r.recovery_actions
+
+    def test_resize_accounting_is_populated(self):
+        r = elastic_resize_run(sim_steps=10)
+        assert r.mean_recompose_s > 0
+        assert r.attempts == 3  # initial + shrink resume + grow resume
+
+
+@pytest.mark.chaos
+class TestLostWorkComparison:
+    def test_elastic_beats_checkpoint_restart_on_lost_work(self):
+        records = lost_work_comparison(sim_steps=10, fail_step=3,
+                                       checkpoint_interval=4)
+        elastic = records["elastic"]
+        baseline = records["checkpoint-restart"]
+        assert elastic.completed and baseline.completed
+        assert elastic.total_steps == baseline.total_steps
+        assert elastic.lost_steps < baseline.lost_steps
+        assert records["lost_steps_saved"] > 0
+
+    def test_both_runtimes_face_the_same_fault(self):
+        records = lost_work_comparison(sim_steps=10)
+        assert records["elastic"].faults == 1
+        assert records["checkpoint-restart"].faults == 1
+
+
+@pytest.mark.chaos
+class TestReconfigurationSweep:
+    def test_goodput_decays_with_resize_frequency(self):
+        records = reconfiguration_sweep(sim_steps=12,
+                                        frequencies=(0, 2, 4))
+        assert [r.label for r in records] \
+            == ["resizes=0", "resizes=2", "resizes=4"]
+        for r in records:
+            assert r.completed
+            assert r.batch_invariant
+        goodput = [r.goodput for r in records]
+        assert goodput[0] > goodput[1] > goodput[2]
+
+    def test_resize_free_cell_never_reconfigures(self):
+        (r,) = reconfiguration_sweep(sim_steps=8, frequencies=(0,))
+        assert r.resizes == 0
+        assert r.attempts == 1
+        assert set(r.world_trajectory) == {4}
+
+
+@pytest.mark.chaos
+class TestAutoscalerComparison:
+    def test_eager_wastes_more_teardowns_than_hysteresis(self):
+        results = autoscaler_comparison(sim_steps=12, release_step=6)
+        eager = results["eager"]
+        hysteresis = results["hysteresis"]
+        assert eager.completed and hysteresis.completed
+        # Eager tears down for the inadmissible lone spare repeatedly;
+        # hysteresis waits out the flapping capacity.
+        assert eager.grow_abandoned > hysteresis.grow_abandoned
+        assert eager.batch_invariant and hysteresis.batch_invariant
+
+    def test_both_policies_eventually_reach_full_width(self):
+        results = autoscaler_comparison(sim_steps=12, release_step=6)
+        for r in results.values():
+            assert r.final_world_size == 4
+
+
+@pytest.mark.chaos
+class TestStudyBundle:
+    def test_smoke_bundle_is_json_shaped(self):
+        study = elasticity_study(smoke=True)
+        assert study["smoke"] is True
+        assert study["acceptance"]["completed"]
+        assert study["acceptance"]["batch_invariant"]
+        assert study["acceptance"]["resizes"] >= 2
+        assert study["lost_work"]["lost_steps_saved"] > 0
+        assert len(study["reconfiguration_sweep"]) == 2
+        assert set(study["autoscalers"]) == {"eager", "hysteresis"}
+        import json
+        json.dumps(study)  # every leaf serializes

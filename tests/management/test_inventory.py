@@ -1,0 +1,64 @@
+"""Inventory hot-plug semantics: contention naming, idempotent release."""
+
+import pytest
+
+from repro.core import ComposableSystem
+from repro.management.inventory import InventoryError
+
+
+@pytest.fixture
+def system():
+    return ComposableSystem()
+
+
+class TestAttach:
+    def test_contended_attach_names_the_owner(self, system):
+        # Chassis GPUs start allocated to host0; a second tenant racing
+        # for one must learn who holds it to decide retry vs abandon.
+        with pytest.raises(InventoryError,
+                           match=r"held by 'host0'.*'tenant'"):
+            system.inventory.attach("falcon0/gpu0", "tenant")
+
+    def test_attach_is_idempotent_per_owner(self, system):
+        owner = system.falcon.owner_of("falcon0/gpu0")
+        system.inventory.attach("falcon0/gpu0", owner)  # no-op, no raise
+        assert system.falcon.owner_of("falcon0/gpu0") == owner
+
+    def test_attach_claims_a_free_device(self, system):
+        system.inventory.detach("falcon0/gpu0")
+        system.inventory.attach("falcon0/gpu0", "host0")
+        assert system.falcon.owner_of("falcon0/gpu0") == "host0"
+
+    def test_unmanaged_device_is_rejected(self, system):
+        with pytest.raises(InventoryError, match="not inventory-managed"):
+            system.inventory.attach("nonexistent/gpu9", "host0")
+
+
+class TestDetach:
+    def test_detach_releases_to_the_spare_pool(self, system):
+        assert system.inventory.spare_gpus() == []
+        system.inventory.detach("falcon0/gpu0")
+        assert [g.name for g in system.inventory.spare_gpus()] \
+            == ["falcon0/gpu0"]
+
+    def test_detach_is_idempotent(self, system):
+        system.inventory.detach("falcon0/gpu0")
+        system.inventory.detach("falcon0/gpu0")  # second release: no-op
+        assert system.falcon.owner_of("falcon0/gpu0") is None
+
+    def test_unmanaged_device_is_rejected(self, system):
+        with pytest.raises(InventoryError, match="not inventory-managed"):
+            system.inventory.detach("nonexistent/gpu9")
+
+
+class TestReplace:
+    def test_replace_without_spare_raises(self, system):
+        with pytest.raises(InventoryError, match="no spare"):
+            system.inventory.replace_gpu("falcon0/gpu0", "host0")
+
+    def test_replace_swaps_in_the_spare(self, system):
+        spare = system.install_spare_gpu(drawer=0)
+        got = system.inventory.replace_gpu("falcon0/gpu0", "host0")
+        assert got.name == spare.name
+        assert system.falcon.owner_of(spare.name) == "host0"
+        assert system.falcon.owner_of("falcon0/gpu0") is None

@@ -47,6 +47,21 @@ def test_different_cells_miss():
     assert plan_compile_stats()["hits"] == 0
 
 
+def test_same_specs_different_ring_membership_misses():
+    # Two rings of identical GPU models but different chassis members
+    # must not share a plan: the memo key includes the rank -> node-name
+    # roster, which topology-aware passes and the elastic reshard splice
+    # both depend on.
+    system = ComposableSystem()
+    cfg = TrainingConfig(benchmark=get_benchmark("bert-large"),
+                         strategy=DistributedDataParallel(),
+                         global_batch=8)
+    for gpus in (system.falcon_gpus[:4], system.falcon_gpus[4:8]):
+        TrainingJob(system.env, system.topology, system.host,
+                    list(gpus), system.host.scratch, cfg)
+    assert plan_compile_stats() == {"hits": 0, "misses": 2}
+
+
 def test_passes_do_not_poison_the_shared_plan():
     plain = build_job()
     optimized = build_job(plan_passes="all")

@@ -291,6 +291,87 @@ class TestElasticRecovery:
         # the recovered rings deliver the same useful sample count.
         assert opt.samples == plain.samples
 
+    def test_backoff_jitter_stays_within_the_configured_band(self):
+        # Each recorded sleep is uniform in [nominal*(1-jitter), nominal]
+        # — decorrelated retries, never longer than the deterministic
+        # schedule.
+        system = ComposableSystem()
+        injector = FaultInjector(system.env, system.topology,
+                                 falcon=system.falcon)
+        jitter = 0.5
+        ft = self.make_ft_job(
+            system, system.falcon_gpus[:4],
+            resilience=ResilienceConfig(backoff_initial=0.1,
+                                        reattach_attempts=3,
+                                        backoff_jitter=jitter,
+                                        allow_hot_spare=False))
+        ft.on_attempt.append(
+            drop_gpu_on_first_attempt(system, injector, "falcon0/gpu1"))
+        result = ft.run()
+
+        assert result.completed  # shrink path still recovers
+        backoffs = [a.detail for a in result.recovery_log
+                    if a.kind == "recovery_backoff"]
+        assert [b["nominal_s"] for b in backoffs] \
+            == pytest.approx([0.1, 0.2, 0.4])  # exponential schedule
+        for b in backoffs:
+            assert b["nominal_s"] * (1 - jitter) <= b["wait_s"] \
+                <= b["nominal_s"]
+        # The jitter draw actually perturbed at least one sleep.
+        assert any(b["wait_s"] < b["nominal_s"] for b in backoffs)
+
+    def test_backoff_jitter_is_seeded_and_reproducible(self):
+        waits = []
+        for _ in range(2):
+            system = ComposableSystem()
+            injector = FaultInjector(system.env, system.topology,
+                                     falcon=system.falcon)
+            ft = self.make_ft_job(
+                system, system.falcon_gpus[:4],
+                resilience=ResilienceConfig(backoff_initial=0.1,
+                                            reattach_attempts=3,
+                                            backoff_jitter=0.5,
+                                            allow_hot_spare=False))
+            ft.on_attempt.append(drop_gpu_on_first_attempt(
+                system, injector, "falcon0/gpu1"))
+            result = ft.run()
+            waits.append([a.detail["wait_s"] for a in result.recovery_log
+                          if a.kind == "recovery_backoff"])
+        assert waits[0] == waits[1]
+
+    def test_retry_budget_caps_cumulative_backoff(self):
+        # budget 0.12s: the first poll sleeps 0.1, the second is clamped
+        # to the 0.02 remainder, the third finds the budget spent and
+        # stops polling — the exhaustion is recorded and surfaces in the
+        # terminal reason.
+        system = ComposableSystem()
+        injector = FaultInjector(system.env, system.topology,
+                                 falcon=system.falcon)
+        ft = self.make_ft_job(
+            system, system.falcon_gpus[:4],
+            resilience=ResilienceConfig(backoff_initial=0.1,
+                                        reattach_attempts=4,
+                                        retry_budget_s=0.12,
+                                        allow_hot_spare=False,
+                                        allow_shrink=False))
+        ft.on_attempt.append(
+            drop_gpu_on_first_attempt(system, injector, "falcon0/gpu1"))
+        result = ft.run()
+
+        assert not result.completed
+        backoffs = [a.detail for a in result.recovery_log
+                    if a.kind == "recovery_backoff"]
+        assert [b["nominal_s"] for b in backoffs] \
+            == pytest.approx([0.1, 0.02])  # clamped to the remainder
+        exhausted = [a for a in result.recovery_log
+                     if a.kind == "reattach_budget_exhausted"]
+        assert exhausted[0].detail["budget_s"] == pytest.approx(0.12)
+        assert exhausted[0].detail["polls"] == 2
+        assert "falcon0/gpu1" in exhausted[0].detail["unreachable"]
+        # The exhaustion is part of the clear give-up reason.
+        assert "retry budget" in result.interrupted_reason
+        assert "shrink disabled" in result.interrupted_reason
+
     def test_transient_fault_needs_no_ring_surgery(self):
         # A port flap heals within the backoff budget: pure
         # checkpoint-restart, no hot-plug, no shrink.
