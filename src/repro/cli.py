@@ -28,6 +28,12 @@ Usage::
                                      [--opt PASS[,PASS...]|all]
     python -m repro fig16-opt [--steps N] [--trace-out trace.json]
     python -m repro perfbench [--smoke] [--jobs N] [--output DIR]
+    python -m repro profile <benchmark> [--backend local|falcon|hybrid]
+                                        [--strategy dp|ddp|sharded|pipeline]
+                                        [--steps N] [--format text|json]
+                                        [--no-what-if] [--output PATH]
+    python -m repro regress [--baseline PATH] [--tolerance F] [--full]
+                            [--output PATH]
 
 Every command prints the same rows the paper's tables/figures report.
 ``trace`` writes a Chrome/Perfetto ``trace_event`` JSON (open in
@@ -95,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
             # The Figs. 10-16 sweeps run many independent cells; they
             # take the parallel/memoized harness knobs.
             _add_parallel_args(p)
+        if name == "fig16":
+            p.add_argument("--profile", action="store_true",
+                           help="annotate every grid cell with its "
+                                "bottleneck label (plan-level "
+                                "critical-path attribution)")
 
     ft = sub.add_parser("fault-tolerance",
                         help="chaos scenario vs resilient training")
@@ -159,6 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tiny run + validate the trace against the "
                             "trace_event schema; non-zero exit on "
                             "violations")
+    trace.add_argument("--timeline-width", type=int, default=72,
+                       help="columns for the ASCII step timeline "
+                            "(clamped to [8, 400])")
 
     fig16 = sub.add_parser(
         "fig16-opt", help="fig16 DDP variant with the optimizing plan "
@@ -167,6 +181,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated optimizer steps per run")
     fig16.add_argument("--trace-out", default=None,
                        help="write a Chrome trace of the optimized run")
+    fig16.add_argument("--profile", action="store_true",
+                       help="annotate each optimized DDP cell with its "
+                            "bottleneck label")
     _add_parallel_args(fig16)
 
     perfbench = sub.add_parser(
@@ -180,6 +197,47 @@ def build_parser() -> argparse.ArgumentParser:
     perfbench.add_argument("--output", default=None, metavar="DIR",
                            help="directory for BENCH_<date>.json "
                                 "(default: current directory)")
+
+    profile = sub.add_parser(
+        "profile", help="profile one benchmark x strategy x backend "
+                        "cell: critical-path attribution, utilization, "
+                        "what-if speedup ceilings, bottleneck verdict")
+    profile.add_argument("benchmark", choices=benchmark_names())
+    profile.add_argument("--backend", default="falcon",
+                         choices=sorted(TRACE_BACKENDS),
+                         help="GPU attachment (default: falcon)")
+    profile.add_argument("--strategy", default="ddp",
+                         choices=PLAN_STRATEGIES)
+    profile.add_argument("--steps", type=int, default=None,
+                         help="simulated optimizer steps (default: the "
+                              "training config's)")
+    profile.add_argument("--opt", default=None, metavar="PASS[,PASS...]",
+                         help="apply optimization passes before "
+                              "profiling (names or 'all')")
+    profile.add_argument("--format", default="text",
+                         choices=("text", "json"),
+                         help="report format (default: text)")
+    profile.add_argument("--no-what-if", action="store_true",
+                         help="skip the what-if re-evaluations (faster; "
+                              "keeps attribution and the verdict)")
+    profile.add_argument("--output", default=None, metavar="PATH",
+                         help="also write the JSON report here")
+
+    regress = sub.add_parser(
+        "regress", help="gate a fresh perfbench run against the "
+                        "committed BENCH_*.json baseline; non-zero "
+                        "exit on semantic drift or perf regression")
+    regress.add_argument("--baseline", default=None, metavar="PATH",
+                         help="baseline report (default: newest "
+                              "BENCH_*.json in the current directory)")
+    regress.add_argument("--tolerance", type=float, default=None,
+                         help="allowed fractional speedup drop "
+                              "(default: 0.35)")
+    regress.add_argument("--full", action="store_true",
+                         help="run the full perfbench instead of the "
+                              "smoke subset")
+    regress.add_argument("--output", default=None, metavar="PATH",
+                         help="write the comparison JSON here")
 
     plan = sub.add_parser(
         "plan", help="compile one training step to the plan IR and "
@@ -340,6 +398,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ddp = time_reduction_pct(study["localGPUs"]["DDP-FP32"],
                                  study["localGPUs"]["DDP-FP16"])
         out(f"FP16 over FP32 (DDP, local): {ddp:.1f}% reduction\n")
+        if getattr(args, "profile", False):
+            from .experiments import bottleneck_labels
+            grid = bottleneck_labels()
+            rows = [(v, grid["localGPUs"][v]["label"],
+                     grid["falconGPUs"][v]["label"])
+                    for v in study["localGPUs"]]
+            out("\n" + render_table(
+                ["Variant", "local bottleneck", "falcon bottleneck"],
+                rows, title="Fig 16 bottleneck annotation "
+                            "(critical-path attribution)") + "\n")
         return 0
 
     if args.command == "fig16-opt":
@@ -361,6 +429,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             + "\n")
         if study.trace_path:
             out(f"wrote optimized-run trace to {study.trace_path}\n")
+        if getattr(args, "profile", False):
+            from .experiments import bottleneck_labels
+            from .experiments.software_opts import (
+                OPT_PIPELINES,
+                VARIANTS,
+            )
+            ddp16 = [v for v in VARIANTS if v.name == "DDP-FP16"]
+            rows = []
+            for name, spec in OPT_PIPELINES:
+                grid = bottleneck_labels(
+                    configurations=(study.configuration,),
+                    variants=ddp16, benchmark=study.benchmark,
+                    plan_passes=spec)
+                cell = grid[study.configuration]["DDP-FP16"]
+                shares = " ".join(f"{k}={v:.0%}" for k, v in
+                                  sorted(cell["shares"].items()))
+                rows.append((name, cell["label"], shares))
+            out("\n" + render_table(
+                ["Passes", "Bottleneck", "Critical-path shares"],
+                rows, title="Optimized-DDP bottleneck annotation")
+                + "\n")
         return 0
 
     if args.command == "perfbench":
@@ -618,7 +707,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             out("steady-state step timeline "
                 f"(rank 0, step {first.step}):\n")
             out(render_ascii_timeline(run.tracer, run.track,
-                                      first.start, first.end) + "\n")
+                                      first.start, first.end,
+                                      width=args.timeline_width) + "\n")
 
         trace = to_chrome_trace(run.tracer)
         if args.trace_out:
@@ -634,6 +724,57 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             out(f"\ntrace OK: {len(trace['traceEvents'])} events pass "
                 "the trace_event schema\n")
         return 0
+
+    if args.command == "profile":
+        import json
+
+        from .experiments import profile_cell
+
+        if args.opt:
+            from .plan.passes import PassError, resolve_passes
+            try:
+                resolve_passes(args.opt)
+            except PassError as exc:
+                out(f"error: {exc}\n")
+                return 2
+        report = profile_cell(
+            args.benchmark, TRACE_BACKENDS[args.backend], args.strategy,
+            sim_steps=args.steps, plan_passes=args.opt,
+            evaluate_what_ifs=not args.no_what_if)
+        if args.format == "json":
+            out(report.render_json() + "\n")
+        else:
+            out(report.render_text() + "\n")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            if args.format != "json":  # keep stdout parseable
+                out(f"wrote {args.output}\n")
+        return 0
+
+    if args.command == "regress":
+        import json
+
+        from .experiments import run_regression
+        from .experiments.regress import DEFAULT_TOLERANCE
+
+        tolerance = (DEFAULT_TOLERANCE if args.tolerance is None
+                     else args.tolerance)
+        try:
+            report = run_regression(baseline_path=args.baseline,
+                                    tolerance=tolerance,
+                                    smoke=not args.full)
+        except (FileNotFoundError, ValueError) as exc:
+            out(f"error: {exc}\n")
+            return 2
+        out(report.render_text() + "\n")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            out(f"wrote {args.output}\n")
+        return 0 if report.ok else 1
 
     if args.command == "plan":
         from .plan import diff_plans, format_diff, format_plan, validate_plan

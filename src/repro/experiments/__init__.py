@@ -25,7 +25,11 @@ resize cost, lost work vs checkpoint-restart, autoscaling policies),
 dual_connection` (paper §III-B cabling), :mod:`~repro.experiments.
 scaling_laws` (what actually drives the size-overhead correlation),
 :mod:`~repro.experiments.recommender` (the §VI topology-recommendation
-framework), and :mod:`~repro.experiments.export` (CSV/JSON writers).
+framework), :mod:`~repro.experiments.profiling` (bottleneck reports and
+Fig. 16 grid annotation via the plan-level profiler),
+:mod:`~repro.experiments.regress` (the perf-regression gate over
+``BENCH_*.json`` baselines), and :mod:`~repro.experiments.export`
+(CSV/JSON writers).
 """
 
 from .dual_connection import DualConnectionResult, dual_connection_study
@@ -71,7 +75,16 @@ from .parallel import (
     default_cache_dir,
     run_cells,
 )
-from .perfbench import run_perfbench, write_bench_report
+from .perfbench import collect_provenance, run_perfbench, \
+    write_bench_report
+from .profiling import bottleneck_labels, profile_cell
+from .regress import (
+    RegressionReport,
+    compare_reports,
+    find_baseline,
+    load_report,
+    run_regression,
+)
 from .runner import ExperimentRecord, run_configuration
 from .tracing import (
     OverheadSplit,
@@ -119,6 +132,14 @@ __all__ = [
     "run_cells",
     "run_perfbench",
     "write_bench_report",
+    "collect_provenance",
+    "profile_cell",
+    "bottleneck_labels",
+    "RegressionReport",
+    "compare_reports",
+    "find_baseline",
+    "load_report",
+    "run_regression",
     "gpu_config_sweep",
     "storage_config_sweep",
     "GPU_CONFIGS",

@@ -31,7 +31,7 @@ from typing import Optional
 from ..plan.fastpath import _executor_timing, fastpath_schedule
 
 __all__ = ["run_perfbench", "write_bench_report", "bench_plan_eval",
-           "bench_fig16_grid"]
+           "bench_fig16_grid", "collect_provenance"]
 
 #: (config, variant-name) cells used in smoke mode: the cheap end of the
 #: grid plus one contended falcon cell, enough to exercise both engines.
@@ -184,6 +184,59 @@ def bench_fig16_grid(smoke: bool = False, sim_steps: Optional[int] = None,
     }
 
 
+def _git_provenance() -> dict:
+    """Commit SHA + dirty flag of the working tree, or ``unknown``.
+
+    Subprocess failures (no git binary, not a repo, CI shallow oddities)
+    degrade to ``unknown`` rather than failing the benchmark run.
+    """
+    import subprocess
+    out = {"git_sha": "unknown", "git_dirty": None}
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=Path(__file__).resolve().parent)
+        if sha.returncode == 0:
+            out["git_sha"] = sha.stdout.strip()
+            status = subprocess.run(
+                ["git", "status", "--porcelain"], capture_output=True,
+                text=True, timeout=10,
+                cwd=Path(__file__).resolve().parent)
+            if status.returncode == 0:
+                out["git_dirty"] = bool(status.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return out
+
+
+def collect_provenance() -> dict:
+    """Attribution block for ``BENCH_*.json``: what produced these numbers.
+
+    Regression comparisons (:mod:`repro.experiments.regress`) are only
+    meaningful when the baseline and the fresh run can be attributed to
+    a commit, an engine stack, and a cache state.
+    """
+    import os
+
+    import numpy
+
+    import repro
+    from ..training.loop import plan_compile_stats
+
+    provenance = {
+        "repro_version": repro.__version__,
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "plan_compile_cache": dict(plan_compile_stats()),
+        "result_cache_dir": os.environ.get("REPRO_CACHE_DIR"),
+    }
+    provenance.update(_git_provenance())
+    return provenance
+
+
 def run_perfbench(smoke: bool = False, jobs: int = 1,
                   reps: Optional[int] = None) -> dict:
     """Run every scenario and assemble the benchmark report."""
@@ -205,6 +258,9 @@ def run_perfbench(smoke: bool = False, jobs: int = 1,
     }
     import repro
     report["meta"]["repro_version"] = repro.__version__
+    # Provenance is collected *after* the scenarios so the compile-cache
+    # stats describe this run's cache behavior, not a cold process.
+    report["meta"]["provenance"] = collect_provenance()
     return report
 
 

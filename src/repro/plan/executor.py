@@ -70,6 +70,10 @@ class ExecutionContext:
     track_for: Optional[Callable] = None
     #: Multiplicative kernel-noise sampler for ``jittered`` computes.
     jitter: Callable[[], float] = lambda: 1.0
+    #: Called with the :class:`PlanExecution` when its last rank
+    #: finishes — the profiler's capture point for per-op absolute
+    #: times (``None`` disables the callback).
+    on_plan_done: Optional[Callable] = None
 
 
 class PlanExecution:
@@ -125,6 +129,10 @@ class PlanExecution:
             yield env.all_of(procs)
         self._ranks_finished += 1
         self._emit_rank_spans(rank)
+        if self._ranks_finished == self.plan.world_size:
+            hook = self.ctx.on_plan_done
+            if hook is not None:
+                hook(self)
 
     def cancel(self, cause=None) -> None:
         """Interrupt every still-running op process (fault teardown)."""

@@ -443,6 +443,13 @@ _TIMELINE_GLYPHS = {
 }
 
 
+#: Rendering width clamp: no terminal benefits from multi-thousand-column
+#: lines, and every column costs a scan — wide sim-time windows scale into
+#: this band instead of widening the output.
+_TIMELINE_MIN_WIDTH = 8
+_TIMELINE_MAX_WIDTH = 400
+
+
 def render_ascii_timeline(tracer: Tracer, track: Track,
                           t0: float, t1: float, width: int = 72) -> str:
     """One-line Perfetto-screenshot-equivalent for a track window.
@@ -450,26 +457,34 @@ def render_ascii_timeline(tracer: Tracer, track: Track,
     Each column is ``(t1 - t0) / width`` seconds, filled with the glyph of
     the category covering most of that column: ``#`` compute, ``=`` comm,
     ``.`` stall, ``C`` checkpoint, ``d`` data, space for idle.
+
+    ``width`` is clamped to [8, 400]: a wide sim-time window rescales
+    into the same number of columns rather than producing unreadable
+    multi-thousand-character lines.  Rendering is one pass over the leaf
+    spans — each leaf touches only the columns it overlaps — so cost is
+    O(spans + width), independent of the window's sim-time extent.
     """
-    if t1 <= t0 or width <= 0:
+    if t1 <= t0:
         return ""
+    width = max(_TIMELINE_MIN_WIDTH, min(int(width), _TIMELINE_MAX_WIDTH))
     leaves = _leaf_spans([s for s in tracer.spans
                           if s.track == track and s.end is not None])
     cell = (t1 - t0) / width
-    columns = []
-    for i in range(width):
-        lo = t0 + i * cell
-        hi = lo + cell
-        best_glyph, best_cover = " ", 0.0
-        for leaf in leaves:
-            a, b = max(leaf.start, lo), min(leaf.end, hi)
-            if b <= a:
-                continue
-            cover = b - a
-            if cover > best_cover:
-                best_cover = cover
-                best_glyph = _TIMELINE_GLYPHS.get(leaf.category.value, "?")
-        columns.append(best_glyph)
+    # cover[i] accumulates seconds per glyph in column i.
+    cover: list[dict[str, float]] = [{} for _ in range(width)]
+    for leaf in leaves:
+        lo, hi = max(leaf.start, t0), min(leaf.end, t1)
+        if hi <= lo:
+            continue
+        glyph = _TIMELINE_GLYPHS.get(leaf.category.value, "?")
+        first = min(width - 1, int((lo - t0) / cell))
+        last = min(width - 1, int((hi - t0) / cell))
+        for i in range(first, last + 1):
+            a = max(lo, t0 + i * cell)
+            b = min(hi, t0 + (i + 1) * cell)
+            if b > a:
+                cover[i][glyph] = cover[i].get(glyph, 0.0) + (b - a)
+    columns = [max(per, key=per.get) if per else " " for per in cover]
     scale = (f"|{t0:.4f}s" + " " * max(0, width - 18)
              + f"{t1:.4f}s|")
     legend = "#=compute ==comm .=stall C=checkpoint d=data"

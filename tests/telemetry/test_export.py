@@ -205,3 +205,42 @@ class TestRendering:
     def test_ascii_timeline_empty_window(self):
         _, tracer = build_simple_trace()
         assert render_ascii_timeline(tracer, TRACK, 2.0, 2.0) == ""
+
+    def test_ascii_timeline_width_clamped(self):
+        _, tracer = build_simple_trace()
+        wide = render_ascii_timeline(tracer, TRACK, 0.0, 4.0,
+                                     width=5000)
+        assert len(wide.split("\n")[0]) == 400
+        narrow = render_ascii_timeline(tracer, TRACK, 0.0, 4.0, width=2)
+        assert len(narrow.split("\n")[0]) == 8
+
+    def test_ascii_timeline_wide_sim_range_keeps_coverage(self):
+        # Spans much shorter than one column must still paint their
+        # dominant glyph instead of vanishing or crashing (the old
+        # integer-stride sampler skipped sub-column spans entirely).
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        for i in range(50):
+            clock.now = i * 100.0
+            span = tracer.span(f"burst{i}", Category.COMPUTE, TRACK)
+            clock.now = i * 100.0 + 0.5
+            span.close()
+        art = render_ascii_timeline(tracer, TRACK, 0.0, 5000.0,
+                                    width=40)
+        line = art.split("\n")[0]
+        assert len(line) == 40
+        assert "#" in line
+
+    def test_ascii_timeline_majority_glyph_per_column(self):
+        # Within one column, the glyph covering more sim time wins.
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        compute = tracer.span("fwd", Category.COMPUTE, TRACK)
+        clock.now = 3.0
+        compute.close()
+        comm = tracer.span("ar", Category.COMM, TRACK)
+        clock.now = 4.0
+        comm.close()
+        art = render_ascii_timeline(tracer, TRACK, 0.0, 4.0, width=8)
+        line = art.split("\n")[0]
+        assert line == "######=="

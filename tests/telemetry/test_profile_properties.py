@@ -1,0 +1,158 @@
+"""Property tests for the profiler: tiling, attribution, what-if laws.
+
+The plan generator mirrors ``tests/plan/test_pass_properties.py`` but is
+trimmed to rank-symmetric programs (every rank runs the same schedule at
+the same cost), which keeps the fast path deterministic across scale
+factors so the monotonicity law is well-posed.
+
+Note the deliberately *absent* law: the Amdahl bound is NOT a lower
+bound on the zeroed makespan — zeroing a bucket also removes the gap
+and contention tiles that trail its critical-path segments, so the true
+re-evaluated makespan can undercut ``base - cp_bucket_seconds``.  The
+profiler reports the analytic bound as a cross-check column only.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.core import ComposableSystem
+from repro.devices.gpu import Precision
+from repro.plan import ExecutionContext, PlanBuilder, PlanError
+from repro.plan.fastpath import FastPathUnsupported, fastpath_schedule
+from repro.telemetry.profile import (
+    SCALE_BUCKETS,
+    attribution,
+    critical_path,
+    predict_scaled_timing,
+    scale_plan,
+    what_if,
+)
+from repro.training import Communicator
+
+_SYNC_KINDS = ("allreduce", "reduce_scatter", "all_gather", "broadcast")
+
+_CTX_CACHE = {}
+
+
+def make_ctx(world):
+    # One context per world size: fastpath_schedule is pure (no env
+    # mutation), so property examples can share them.
+    if world not in _CTX_CACHE:
+        system = ComposableSystem()
+        active = system.configure("localGPUs")
+        gpus = list(active.gpus)[:world]
+        comm = Communicator(system.env, system.topology,
+                            [g.name for g in gpus], gpus=gpus)
+        _CTX_CACHE[world] = ExecutionContext(
+            env=system.env, comm=comm, gpus=gpus,
+            topology=system.topology,
+            host_node=system.host.dram_node, storage=active.storage)
+    return _CTX_CACHE[world]
+
+
+@st.composite
+def plans(draw):
+    """Rank-symmetric step plans over every scalable bucket."""
+    world = draw(st.integers(min_value=1, max_value=3))
+    n_h2d = draw(st.integers(min_value=0, max_value=2))
+    h2d_bytes = draw(st.sampled_from([1e5, 4e6, 3.3e7]))
+    flops = draw(st.sampled_from([1e11, 1e12, 7e12]))
+    colls = draw(st.lists(st.tuples(
+        st.sampled_from(_SYNC_KINDS),
+        st.sampled_from([1e4, 1e6, 6.4e7])), max_size=3))
+    delay_s = draw(st.sampled_from([0.0, 1e-4, 2e-3]))
+    with_storage = draw(st.booleans())
+
+    b = PlanBuilder("prop", world_size=world)
+    for rank in range(world):
+        deps = []
+        for i in range(n_h2d):
+            op = b.h2d(rank, f"in{i}", h2d_bytes,
+                       deps=deps[-1:] if deps else ())
+            deps = [op]
+        fwd = b.compute(rank, "fwd", flops=flops, hbm_bytes=0.0,
+                        precision=Precision.FP16, efficiency=0.5,
+                        deps=deps)
+        anchor = fwd
+        for i, (kind, nbytes) in enumerate(colls):
+            anchor = b.collective(rank, f"c{i}", kind, nbytes,
+                                  payload=f"p{i}", deps=[anchor])
+        if delay_s:
+            anchor = b.delay(rank, "lag", seconds=delay_s,
+                             deps=[anchor])
+        tail = b.compute(rank, "opt", flops=1e10, hbm_bytes=0.0,
+                         precision=Precision.FP16, efficiency=0.5,
+                         deps=[anchor])
+        if with_storage and rank == 0:
+            d = b.d2h(rank, "snap-d2h", 2e6, deps=[tail])
+            b.storage_write(rank, "snap", 2e6, deps=[d])
+    for i, (_kind, nbytes) in enumerate(colls):
+        b.declare_conservation(f"p{i}", world * nbytes)
+    return b.build()
+
+
+def _schedule(plan):
+    ctx = make_ctx(plan.world_size)
+    try:
+        return ctx, fastpath_schedule(plan, ctx)
+    except FastPathUnsupported:
+        assume(False)
+
+
+@given(plans())
+@settings(max_examples=25, deadline=None)
+def test_critical_path_length_equals_makespan(plan):
+    ctx, timing = _schedule(plan)
+    path = critical_path(plan, timing, ctx=ctx)
+    assert path.length == pytest.approx(timing.makespan, rel=1e-9,
+                                        abs=1e-15)
+    cursor = 0.0
+    for seg in path.segments:
+        assert seg.start == pytest.approx(cursor, abs=1e-12)
+        cursor = seg.end
+
+
+@given(plans())
+@settings(max_examples=25, deadline=None)
+def test_attribution_sums_to_total_time(plan):
+    ctx, timing = _schedule(plan)
+    attr = attribution(critical_path(plan, timing, ctx=ctx))
+    assert attr.total == pytest.approx(attr.wall, rel=1e-9, abs=1e-15)
+    assert all(v >= 0 for v in attr.seconds.values())
+
+
+@given(plans(), st.sampled_from(SCALE_BUCKETS))
+@settings(max_examples=25, deadline=None)
+def test_what_if_identity_at_factor_one(plan, bucket):
+    ctx, timing = _schedule(plan)
+    w = what_if(plan, timing, ctx, bucket, 1.0)
+    assert w.predicted_makespan == pytest.approx(timing.makespan,
+                                                 rel=1e-12)
+    assert w.predicted_ceiling == pytest.approx(1.0, rel=1e-12)
+
+
+@given(plans(), st.sampled_from(SCALE_BUCKETS))
+@settings(max_examples=25, deadline=None)
+def test_what_if_ceiling_monotone_in_scale_factor(plan, bucket):
+    ctx, timing = _schedule(plan)
+    spans = []
+    for factor in (0.0, 0.25, 0.5, 1.0):
+        try:
+            spans.append(predict_scaled_timing(
+                plan, timing, ctx, bucket, factor).makespan)
+        except PlanError:
+            assume(False)
+    for lo, hi in zip(spans, spans[1:]):
+        assert lo <= hi * (1 + 1e-9)
+
+
+@given(plans(), st.sampled_from(SCALE_BUCKETS),
+       st.sampled_from([0.0, 0.5, 2.0]))
+@settings(max_examples=25, deadline=None)
+def test_scale_plan_roundtrips_structure(plan, bucket, factor):
+    scaled = scale_plan(plan, bucket, factor)
+    assert len(scaled.ops) == len(plan.ops)
+    assert [op.uid for op in scaled.ops] == [op.uid for op in plan.ops]
+    from repro.plan import validate_plan
+    assert validate_plan(scaled) == []

@@ -239,3 +239,76 @@ class TestFig16OptCommand:
         assert "wrote optimized-run trace" in out
         trace_json = json.loads(trace.read_text())
         assert trace_json["traceEvents"]
+
+
+class TestProfileCommand:
+    def test_profile_text_report(self, capsys):
+        assert main(["profile", "mobilenetv2", "--backend", "local",
+                     "--steps", "4", "--no-what-if"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck report:" in out
+        assert "verdict:" in out
+        assert "critical-path attribution" in out
+        assert "reconciliation" in out
+
+    def test_profile_json_report(self, capsys, tmp_path):
+        out_path = tmp_path / "profile.json"
+        assert main(["profile", "mobilenetv2", "--backend", "local",
+                     "--steps", "4", "--no-what-if", "--format",
+                     "json", "--output", str(out_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["label"].endswith("-bound") or \
+            payload["label"].startswith("balanced")
+        assert payload["run"]["reconciliation_rel_err"] <= 1e-9
+        assert json.loads(out_path.read_text()) == payload
+
+    def test_profile_with_what_ifs(self, capsys):
+        assert main(["profile", "mobilenetv2", "--backend", "local",
+                     "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "what-if speedup ceilings" in out
+        assert "relaxation" in out or "fastpath" in out
+
+    def test_profile_unknown_benchmark_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["profile", "alexnet"])
+        assert err.value.code == 2
+
+    def test_profile_unknown_opt_pass_exits_2(self, capsys):
+        assert main(["profile", "mobilenetv2", "--backend", "local",
+                     "--opt", "warpdrive"]) == 2
+        assert "unknown" in capsys.readouterr().out.lower()
+
+
+class TestRegressCommand:
+    def test_missing_baseline_exits_2(self, capsys, tmp_path,
+                                      monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["regress"]) == 2
+        assert "baseline" in capsys.readouterr().out.lower()
+
+    def test_invalid_baseline_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"meta": {}}))
+        assert main(["regress", "--baseline", str(bad)]) == 2
+
+    def test_parser_accepts_tolerance_and_full(self):
+        args = build_parser().parse_args(
+            ["regress", "--tolerance", "0.2", "--full"])
+        assert args.tolerance == pytest.approx(0.2)
+        assert args.full
+
+
+class TestProfileFlags:
+    def test_fig16_parser_accepts_profile(self):
+        args = build_parser().parse_args(["fig16", "--profile"])
+        assert args.profile
+
+    def test_fig16_opt_parser_accepts_profile(self):
+        args = build_parser().parse_args(["fig16-opt", "--profile"])
+        assert args.profile
+
+    def test_trace_timeline_width(self, capsys):
+        assert main(["trace", "mobilenetv2", "--backend", "local",
+                     "--smoke", "--timeline-width", "24"]) == 0
+        assert "trace OK" in capsys.readouterr().out
