@@ -34,6 +34,11 @@ Usage::
                                         [--no-what-if] [--output PATH]
     python -m repro regress [--baseline PATH] [--tolerance F] [--full]
                             [--output PATH]
+    python -m repro fleet [--smoke] [--chassis N] [--hosts N]
+                          [--gpus-per-chassis N] [--oversub F]
+                          [--trace-jobs N] [--seed S] [--interarrival F]
+                          [--output PATH]
+                                            # multi-chassis fleet study
 
 Every command prints the same rows the paper's tables/figures report.
 ``trace`` writes a Chrome/Perfetto ``trace_event`` JSON (open in
@@ -223,6 +228,32 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--output", default=None, metavar="PATH",
                          help="also write the JSON report here")
 
+    fleet = sub.add_parser(
+        "fleet", help="multi-chassis fleet study: run a seeded job "
+                      "trace through the cluster scheduler and report "
+                      "utilization, queueing delay, and spine "
+                      "contention")
+    fleet.add_argument("--smoke", action="store_true",
+                       help="small CI-sized run; also asserts the run "
+                            "invariants and exits non-zero on violation")
+    fleet.add_argument("--chassis", type=int, default=None,
+                       help="Falcon chassis count (default: preset)")
+    fleet.add_argument("--hosts", type=int, default=None,
+                       help="composable host count (default: preset)")
+    fleet.add_argument("--gpus-per-chassis", type=int, default=None,
+                       help="GPUs installed per chassis (default: preset)")
+    fleet.add_argument("--oversub", type=float, default=None,
+                       help="host spine-uplink oversubscription factor "
+                            "(default: preset)")
+    fleet.add_argument("--trace-jobs", type=int, default=None,
+                       help="jobs in the synthetic trace")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="trace generator seed")
+    fleet.add_argument("--interarrival", type=float, default=None,
+                       help="mean job inter-arrival time, seconds")
+    fleet.add_argument("--output", default=None, metavar="PATH",
+                       help="write the full study JSON here")
+
     regress = sub.add_parser(
         "regress", help="gate a fresh perfbench run against the "
                         "committed BENCH_*.json baseline; non-zero "
@@ -299,7 +330,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         out("artifacts: table1 table2 table3 table4 fig5 fig9 fig10 "
             "fig11 fig12 fig13 fig14 fig15 fig16 sharing "
-            "fault-tolerance elasticity\n")
+            "fault-tolerance elasticity fleet\n")
         out("benchmarks: " + " ".join(benchmark_names()) + "\n")
         out("configurations: " + " ".join(CONFIGURATION_ORDER) + "\n")
         return 0
@@ -751,6 +782,71 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 fh.write("\n")
             if args.format != "json":  # keep stdout parseable
                 out(f"wrote {args.output}\n")
+        return 0
+
+    if args.command == "fleet":
+        import json
+
+        from .core import FLEET_FOUR_CHASSIS, FleetSpec
+        from .experiments import fleet_study
+        from .experiments.fleet import SMOKE_SPEC
+
+        base = SMOKE_SPEC if args.smoke else FLEET_FOUR_CHASSIS
+        spec = FleetSpec(
+            name="cli",
+            chassis=args.chassis or base.chassis,
+            hosts=args.hosts or base.hosts,
+            gpus_per_chassis=(args.gpus_per_chassis
+                              or base.gpus_per_chassis),
+            oversubscription=(args.oversub if args.oversub is not None
+                              else base.oversubscription))
+        report = fleet_study(smoke=args.smoke, spec=spec,
+                             jobs=args.trace_jobs, seed=args.seed,
+                             mean_interarrival=args.interarrival)
+        out(render_table(
+            ["Job", "Benchmark", "GPUs", "Host", "Chassis", "Queue s",
+             "Run s", "Samples/s"],
+            [(r["job_id"], r["benchmark"], r["gpus"], r["host"],
+              "+".join(str(c) for c in r["chassis"]),
+              round(r["queue_delay_s"], 1), round(r["run_s"], 1),
+              round(r["throughput_samples_s"], 1))
+             for r in report["records"]],
+            title=f"fleet trace (seed {args.seed}): "
+                  f"{report['jobs']} jobs on {report['chassis']} "
+                  f"chassis x {report['total_gpus'] // report['chassis']}"
+                  " GPUs") + "\n\n")
+        out(render_table(
+            ["Metric", "Value"],
+            [("makespan (s)", round(report["makespan_s"], 1)),
+             ("GPU utilization", f"{report['gpu_utilization']:.1%}"),
+             ("mean queue delay (s)",
+              round(report["mean_queue_delay_s"], 2)),
+             ("max queue delay (s)",
+              round(report["max_queue_delay_s"], 2)),
+             ("cross-chassis jobs", report["cross_chassis_jobs"]),
+             ("host-uplink oversubscription",
+              f"{report['oversubscription']:g}:1"),
+             ("busiest spine link", report["busiest_spine_link"])],
+            title="fleet aggregates") + "\n\n")
+        traffic = report["spine_traffic_gbs"]
+        out(render_table(
+            ["Spine link", "to spine GB/s", "from spine GB/s"],
+            [(label, round(t["to_spine_gbs"], 3),
+              round(t["from_spine_gbs"], 3))
+             for label, t in sorted(traffic.items())],
+            title="cross-job spine contention (run mean)") + "\n")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            out(f"wrote {args.output}\n")
+        if args.smoke:
+            checks = report["checks"]
+            for name, ok in checks.items():
+                if name != "ok" and not ok:
+                    out(f"invariant violated: {name}\n")
+            out("smoke OK\n" if checks["ok"] else "smoke FAILED\n")
+            return 0 if checks["ok"] else 1
         return 0
 
     if args.command == "regress":

@@ -1,10 +1,15 @@
-"""Public facade: the composable system and static presets."""
+"""Public facade: the composable system, fleet, and static presets."""
 
 from .cluster import ComposableCluster, HOTPLUG_SECONDS, JobSpec
+from .fleet import ComposableFleet, FleetError
 from .presets import (
     COMM_REQUIREMENTS,
     CONFIGURATION_DESCRIPTIONS,
     CONFIGURATION_ORDER,
+    FLEET_FOUR_CHASSIS,
+    FLEET_PRESETS,
+    FLEET_TWO_CHASSIS,
+    FleetSpec,
     SOFTWARE_STACK,
 )
 from .system import ActiveConfiguration, ComposableSystem
@@ -12,6 +17,12 @@ from .system import ActiveConfiguration, ComposableSystem
 __all__ = [
     "ComposableSystem",
     "ComposableCluster",
+    "ComposableFleet",
+    "FleetError",
+    "FleetSpec",
+    "FLEET_TWO_CHASSIS",
+    "FLEET_FOUR_CHASSIS",
+    "FLEET_PRESETS",
     "JobSpec",
     "HOTPLUG_SECONDS",
     "ActiveConfiguration",

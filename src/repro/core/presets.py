@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["SOFTWARE_STACK", "CONFIGURATION_DESCRIPTIONS",
-           "CONFIGURATION_ORDER", "COMM_REQUIREMENTS"]
+           "CONFIGURATION_ORDER", "COMM_REQUIREMENTS", "FleetSpec",
+           "FLEET_TWO_CHASSIS", "FLEET_FOUR_CHASSIS", "FLEET_PRESETS"]
 
 #: Paper Table I: Software Stack Details.
 SOFTWARE_STACK: dict[str, str] = {
@@ -47,6 +48,57 @@ class CommRequirement:
     latency: str
     bandwidth: str
     link_length: str
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Bill of materials for a multi-chassis fleet (§III scaled out).
+
+    N Falcon 4016 chassis and M composable (GPU-less) host servers meet
+    behind one spine switch: every drawer is trunked to the spine over a
+    CDFP cable, and every host's root complex uplinks to the spine at
+    ``1/oversubscription`` of CDFP bandwidth — the oversubscription knob
+    is the classic leaf/spine ratio between edge capacity and what the
+    host can actually push into the fabric.
+    """
+
+    name: str
+    chassis: int = 2
+    hosts: int = 2
+    gpus_per_chassis: int = 8
+    #: Host-uplink oversubscription factor: each host's spine uplink
+    #: carries ``CDFP / oversubscription`` bandwidth (1.0 = non-blocking).
+    oversubscription: float = 1.0
+    #: Topology node name of the spine switch.
+    spine: str = "spine0"
+
+    def __post_init__(self) -> None:
+        if self.chassis < 1:
+            raise ValueError("a fleet needs at least one chassis")
+        if self.hosts < 1:
+            raise ValueError("a fleet needs at least one host")
+        if not 1 <= self.gpus_per_chassis <= 16:
+            raise ValueError("a Falcon 4016 holds 1..16 devices")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.chassis * self.gpus_per_chassis
+
+
+#: Two chassis / two hosts, non-blocking spine: the smallest topology on
+#: which cross-chassis placement and spine contention are observable.
+FLEET_TWO_CHASSIS = FleetSpec(name="two-chassis")
+
+#: Four chassis / four hosts with 2:1 oversubscribed host uplinks — the
+#: configuration the fleet study uses to surface queueing + contention.
+FLEET_FOUR_CHASSIS = FleetSpec(name="four-chassis", chassis=4, hosts=4,
+                               oversubscription=2.0)
+
+FLEET_PRESETS: dict[str, FleetSpec] = {
+    spec.name: spec for spec in (FLEET_TWO_CHASSIS, FLEET_FOUR_CHASSIS)
+}
 
 
 #: Paper Fig. 5: communications requirements of disaggregation (from [1]).

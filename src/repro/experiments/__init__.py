@@ -28,8 +28,9 @@ scaling_laws` (what actually drives the size-overhead correlation),
 framework), :mod:`~repro.experiments.profiling` (bottleneck reports and
 Fig. 16 grid annotation via the plan-level profiler),
 :mod:`~repro.experiments.regress` (the perf-regression gate over
-``BENCH_*.json`` baselines), and :mod:`~repro.experiments.export`
-(CSV/JSON writers).
+``BENCH_*.json`` baselines), :mod:`~repro.experiments.fleet`
+(multi-chassis cluster scheduling: utilization, queueing delay, spine
+contention), and :mod:`~repro.experiments.export` (CSV/JSON writers).
 """
 
 from .dual_connection import DualConnectionResult, dual_connection_study
@@ -53,6 +54,7 @@ from .export import (
     records_to_json,
     write_records,
 )
+from .fleet import SMOKE_SPEC, fleet_study
 from .microbench import P2PResult, measure_pair, table4
 from .resilience import DegradationResult, degraded_uplink_study
 from .scale_out import ScaleOutResult, allreduce_scale_out_study
@@ -132,6 +134,8 @@ __all__ = [
     "run_cells",
     "run_perfbench",
     "write_bench_report",
+    "fleet_study",
+    "SMOKE_SPEC",
     "collect_provenance",
     "profile_cell",
     "bottleneck_labels",

@@ -31,7 +31,7 @@ from typing import Optional
 from ..plan.fastpath import _executor_timing, fastpath_schedule
 
 __all__ = ["run_perfbench", "write_bench_report", "bench_plan_eval",
-           "bench_fig16_grid", "collect_provenance"]
+           "bench_fig16_grid", "bench_flow_churn", "collect_provenance"]
 
 #: (config, variant-name) cells used in smoke mode: the cheap end of the
 #: grid plus one contended falcon cell, enough to exercise both engines.
@@ -184,6 +184,106 @@ def bench_fig16_grid(smoke: bool = False, sim_steps: Optional[int] = None,
     }
 
 
+class _ChurnSegment:
+    """Duck-typed flow segment: just a directed key and a capacity."""
+
+    __slots__ = ("key", "capacity")
+
+    def __init__(self, key, capacity: float):
+        self.key = key
+        self.capacity = capacity
+
+
+class _ChurnFlow:
+    """Duck-typed flow for the solver hot path (no event machinery)."""
+
+    __slots__ = ("segments", "rate")
+
+    def __init__(self, segments):
+        self.segments = tuple(segments)
+        self.rate = 0.0
+
+
+def _churn_flow(links: int, capacity: float, i: int) -> _ChurnFlow:
+    """Flow ``i``: one link, or an adjacent pair for every fourth flow.
+
+    Pairing ``2k`` with ``2k+1`` keeps contention components at two
+    links, the realistic fleet shape (many small independent jobs) the
+    incremental solver exploits.
+    """
+    first = i % links
+    segments = [_ChurnSegment(("churn", first), capacity)]
+    if i % 4 == 0:
+        segments.append(_ChurnSegment(("churn", first ^ 1), capacity))
+    return _ChurnFlow(segments)
+
+
+def bench_flow_churn(flows: int = 1000, links: int = 64,
+                     churn_ops: int = 300, seed: int = 7) -> dict:
+    """1k-flow churn: incremental component re-solve vs batch refill.
+
+    Builds ``flows`` concurrent flows spread over ``links`` independent
+    directed capacities, then performs ``churn_ops`` remove-one/add-one
+    cycles — the fleet steady state, where one job's transfer finishing
+    must not cost a full re-solve over every other job's flows.  Both
+    legs run the same arithmetic (:mod:`repro.fabric.maxmin`); the
+    incremental leg re-rates only the touched component and is
+    cross-checked against the batch oracle at 1e-9 afterwards.
+    """
+    import random
+
+    from ..fabric.maxmin import MaxMinSolver
+
+    capacity = 10e9
+
+    def build() -> tuple:
+        solver = MaxMinSolver()
+        population = [_churn_flow(links, capacity, i)
+                      for i in range(flows)]
+        for flow in population:
+            solver.add(flow)
+        return solver, population
+
+    def churn(solver, population, full: bool) -> float:
+        rng = random.Random(seed)
+        next_id = flows
+        solver.solve_full() if full else solver.solve()
+        t0 = time.perf_counter()
+        for _ in range(churn_ops):
+            victim = population.pop(rng.randrange(len(population)))
+            solver.remove(victim)
+            fresh = _churn_flow(links, capacity, next_id)
+            next_id += 1
+            population.append(fresh)
+            solver.add(fresh)
+            if full:
+                solver.solve_full()
+            else:
+                solver.solve()
+        return time.perf_counter() - t0
+
+    solver, population = build()
+    incremental_s = churn(solver, population, full=False)
+    try:
+        solver.assert_equivalent(1e-9)
+        equivalent = True
+    except AssertionError:
+        equivalent = False
+
+    solver_full, population_full = build()
+    batch_s = churn(solver_full, population_full, full=True)
+
+    return {
+        "flows": flows,
+        "links": links,
+        "churn_ops": churn_ops,
+        "incremental_s": incremental_s,
+        "batch_s": batch_s,
+        "speedup": batch_s / incremental_s if incremental_s else 0.0,
+        "equivalent": equivalent,
+    }
+
+
 def _git_provenance() -> dict:
     """Commit SHA + dirty flag of the working tree, or ``unknown``.
 
@@ -255,6 +355,10 @@ def run_perfbench(smoke: bool = False, jobs: int = 1,
         },
         "plan_eval": bench_plan_eval(smoke=smoke, reps=reps),
         "fig16_grid": bench_fig16_grid(smoke=smoke, jobs=jobs),
+        # Always the full 1k flows (the acceptance scale); smoke only
+        # trims the churn cycle count.
+        "flow_churn": bench_flow_churn(
+            churn_ops=100 if smoke else 300),
     }
     import repro
     report["meta"]["repro_version"] = repro.__version__

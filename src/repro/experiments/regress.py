@@ -34,6 +34,7 @@ from typing import Optional, Union
 __all__ = [
     "SEMANTIC_RTOL",
     "DEFAULT_TOLERANCE",
+    "MIN_CHURN_SPEEDUP",
     "CellComparison",
     "RegressionReport",
     "find_baseline",
@@ -47,6 +48,11 @@ __all__ = [
 SEMANTIC_RTOL = 1e-9
 #: Default allowed fractional drop in the fast-path speedup ratio.
 DEFAULT_TOLERANCE = 0.35
+#: Floor for the incremental max-min solver's churn-microbench speedup
+#: over the batch water-filler (the fleet-scale refactor's acceptance
+#: bar; an absolute pin, so baseline and current runs may differ in
+#: churn cycle count).
+MIN_CHURN_SPEEDUP = 5.0
 
 
 @dataclass
@@ -92,10 +98,15 @@ class RegressionReport:
     baseline_path: Optional[str] = None
     #: (configuration, variant) keys present in only one report.
     uncovered: list = field(default_factory=list)
+    #: flow-churn gate verdict (None when the current report predates
+    #: the scenario).
+    churn: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
-        return bool(self.cells) and all(c.ok for c in self.cells)
+        cells_ok = bool(self.cells) and all(c.ok for c in self.cells)
+        churn_ok = self.churn is None or self.churn["ok"]
+        return cells_ok and churn_ok
 
     @property
     def failures(self) -> list:
@@ -108,6 +119,7 @@ class RegressionReport:
             "baseline": self.baseline_path,
             "cells": [c.as_dict() for c in self.cells],
             "uncovered": [list(k) for k in self.uncovered],
+            "flow_churn": self.churn,
         }
 
     def render_text(self) -> str:
@@ -131,6 +143,15 @@ class RegressionReport:
         for key in self.uncovered:
             lines.append(f"  {key[0]:<13} {key[1]:<14} "
                          f"{'(no shared baseline cell)':>38}")
+        if self.churn is not None:
+            base = self.churn.get("baseline_speedup")
+            lines.append(
+                f"flow churn: {self.churn['flows']} flows, incremental "
+                f"{self.churn['speedup']:.1f}x over batch "
+                f"(floor {MIN_CHURN_SPEEDUP:g}x"
+                + (f", baseline {base:.1f}x" if base else "")
+                + f", equivalent={self.churn['equivalent']}) "
+                + ("OK" if self.churn["ok"] else "FAIL"))
         lines.append("gate: " + ("PASS" if self.ok else "FAIL"))
         return "\n".join(lines)
 
@@ -185,7 +206,34 @@ def compare_reports(baseline: dict, current: dict,
             perf_ok=ratio >= 1.0 - tolerance))
     return RegressionReport(cells=cells, tolerance=tolerance,
                             baseline_path=baseline_path,
-                            uncovered=uncovered)
+                            uncovered=uncovered,
+                            churn=_gate_churn(baseline, current))
+
+
+def _gate_churn(baseline: dict, current: dict) -> Optional[dict]:
+    """Pin the incremental-solver speedup to its absolute floor.
+
+    The churn microbench compares two legs of the *same* run on the
+    same host, so its speedup is host-independent (like the plan-eval
+    ratio) and is gated against ``MIN_CHURN_SPEEDUP`` rather than
+    against the baseline's value; the baseline figure is reported for
+    context only.  Reports predating the scenario gate nothing.
+    """
+    scenario = current.get("flow_churn")
+    if scenario is None:
+        return None
+    base = baseline.get("flow_churn") or {}
+    speedup = scenario.get("speedup", 0.0)
+    equivalent = bool(scenario.get("equivalent"))
+    return {
+        "flows": scenario.get("flows"),
+        "churn_ops": scenario.get("churn_ops"),
+        "speedup": speedup,
+        "equivalent": equivalent,
+        "baseline_speedup": base.get("speedup"),
+        "floor": MIN_CHURN_SPEEDUP,
+        "ok": equivalent and speedup >= MIN_CHURN_SPEEDUP,
+    }
 
 
 def run_regression(baseline_path: Union[str, Path, None] = None,

@@ -12,6 +12,7 @@ cube mesh (:mod:`~repro.fabric.nvlink`), PCIe switches and root complexes
 
 from .falcon import Drawer, Falcon4016, FalconError, FalconMode, Slot
 from .flows import Flow, FlowScheduler, Segment
+from .maxmin import MaxMinSolver, water_fill
 from .link import (
     CDFP_400G,
     DDR4_CHANNEL,
@@ -61,7 +62,9 @@ __all__ = [
     "DDR4_CHANNEL",
     "Flow",
     "FlowScheduler",
+    "MaxMinSolver",
     "Segment",
+    "water_fill",
     "Topology",
     "Node",
     "Route",

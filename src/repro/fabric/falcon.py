@@ -233,6 +233,49 @@ class Falcon4016:
                    drawer=drawer, partition=partition)
         return link
 
+    def connect_fabric_host(self, port: str, host_id: str,
+                            fabric_node: str, drawer: int,
+                            spec: LinkSpec = CDFP_400G) -> Link:
+        """Admit a host to ``drawer`` over a shared fabric (spine) trunk.
+
+        Leaf/spine cabling for multi-chassis fleets: the port's cable
+        lands on a transit switch (``fabric_node``) rather than on the
+        host's own adapter, and the host is reached *through* that
+        fabric.  The first fabric connection of a drawer cables its
+        switch to the spine — one physical trunk; every later host
+        admitted over the same fabric shares the trunk instead of adding
+        a cable, so all of the drawer's spine-bound traffic contends on
+        it.  Port bookkeeping, per-mode connection limits, and
+        allocation checks behave exactly as for :meth:`connect_host`.
+        """
+        if port not in self.HOST_PORTS:
+            raise FalconError(f"unknown host port {port!r}")
+        if port in self.port_map:
+            raise FalconError(f"port {port} is already in use")
+        dr = self._drawer(drawer)
+        if dr.partitions > 1:
+            raise FalconError(
+                f"{dr.name} is partitioned; fabric trunks require an "
+                "unpartitioned drawer")
+        if host_id in dr.hosts:
+            raise FalconError(
+                f"host {host_id!r} is already connected to {dr.name}")
+        if dr.connection_count >= self.max_hosts_per_drawer:
+            raise FalconError(
+                f"{dr.name} already has {dr.connection_count} connections "
+                f"(mode {self.mode.value} allows "
+                f"{self.max_hosts_per_drawer})")
+        switch = dr.switches[0]
+        if fabric_node in switch.upstream:
+            link = switch.uplink_to(fabric_node)
+        else:
+            link = switch.connect_upstream(fabric_node, spec)
+        dr.hosts.setdefault(host_id, []).append((port, link, 0))
+        self.port_map[port] = (host_id, drawer)
+        self._emit("host_connected", port=port, host=host_id,
+                   drawer=drawer, partition=0, fabric=fabric_node)
+        return link
+
     def disconnect_host(self, port: str) -> None:
         """Uncable a host port; the host's allocations in the drawer are
         released once its last connection goes."""
@@ -248,8 +291,14 @@ class Falcon4016:
             for slot in dr.slots:
                 if slot.owner == host_id:
                     slot.owner = None
-        dr.switches[partition].disconnect_upstream(
-            link.other(dr.switches[partition].name))
+        # A fabric trunk is shared by every host admitted over it; only
+        # physically uncable when the last sharer goes.
+        still_shared = any(entry[1] is link
+                           for remaining in dr.hosts.values()
+                           for entry in remaining)
+        if not still_shared:
+            dr.switches[partition].disconnect_upstream(
+                link.other(dr.switches[partition].name))
         self._emit("host_disconnected", port=port, host=host_id,
                    drawer=drawer)
 

@@ -4,9 +4,19 @@ Data movement in the composable system is modelled as *fluid flows*: a
 transfer of ``nbytes`` over a sequence of directed link segments streams
 at a rate determined by max-min fair sharing of every link direction it
 crosses (progressive filling / water-filling).  Whenever the set of active
-flows changes, all rates are recomputed and the next completion is
+flows changes, affected rates are recomputed and the next completion is
 rescheduled — the classic event-driven fluid simulation used by
 flow-level network simulators.
+
+Rate assignment is **incremental** (:class:`~repro.fabric.maxmin.
+MaxMinSolver`): a flow add/remove/kill or a capacity change re-solves
+only the affected connected component of the contention graph, so a
+fleet of independent jobs sharing one scheduler stays O(component), not
+O(all flows), per event.  The batch water-filler
+(:func:`~repro.fabric.maxmin.water_fill`) is kept as the reference
+oracle — construct the scheduler with ``incremental=False`` to force
+full re-solves, or call :meth:`FlowScheduler.assert_rates_equivalent`
+to cross-check the incremental state at 1e-9.
 
 This captures the two congestion phenomena the paper observes:
 
@@ -23,11 +33,12 @@ counters on every scheduler update, so port ingress/egress rate series
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from ..sim import Environment, Event
 from .link import Link
+from .maxmin import MaxMinSolver, apply_rates, water_fill
 
 __all__ = ["FlowScheduler", "Flow", "Segment"]
 
@@ -67,6 +78,15 @@ class Segment:
         return self.link.spec.bandwidth
 
 
+def _link_keys(link: Link) -> tuple[tuple, tuple]:
+    """Both directed-capacity keys of a link (the solver's index keys)."""
+    return ((link.id, link.a, link.b), (link.id, link.b, link.a))
+
+
+#: Fallback id source for flows constructed outside a scheduler (tests,
+#: ad-hoc solver experiments).  Scheduler-owned flows draw from the
+#: scheduler's own counter so runs are deterministic regardless of what
+#: other schedulers the process ran before.
 _flow_ids = itertools.count()
 
 
@@ -74,8 +94,9 @@ class Flow:
     """An active transfer streaming over a set of directed segments."""
 
     def __init__(self, segments: Sequence[Segment], nbytes: float,
-                 done: Event, label: str = ""):
-        self.id = next(_flow_ids)
+                 done: Event, label: str = "",
+                 flow_id: Optional[int] = None):
+        self.id = next(_flow_ids) if flow_id is None else flow_id
         self.segments = tuple(segments)
         self.nbytes = float(nbytes)
         self.remaining = float(nbytes)
@@ -95,11 +116,18 @@ class FlowScheduler:
 
         done = scheduler.start_flow(segments, nbytes)
         yield done          # fires when the last byte is delivered
+
+    ``incremental=False`` keeps the per-link indexes but re-solves every
+    flow at every recompute — the batch oracle mode the equivalence
+    tests and the churn microbench compare against.
     """
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment, incremental: bool = True):
         self.env = env
+        self.incremental = incremental
         self._flows: dict[int, Flow] = {}
+        self._ids = itertools.count()
+        self._solver = MaxMinSolver()
         self._last_update = env.now
         self._generation = 0
         #: Completed flow count (introspection / tests).
@@ -109,28 +137,36 @@ class FlowScheduler:
     def active_flows(self) -> list[Flow]:
         return list(self._flows.values())
 
-    def poke(self) -> None:
+    def poke(self, link: Optional[Link] = None) -> None:
         """Force an immediate rate recomputation.
 
         Call after mutating link capacities (retrain/degradation) so
         in-flight flows adopt the new rates without waiting for the next
-        natural arrival/completion event.
+        natural arrival/completion event.  Passing the changed ``link``
+        confines the re-solve to its contention component; with no
+        argument every component is re-solved (unknown change).
         """
         self._advance()
+        if link is None:
+            self._solver.touch_all()
+        else:
+            self._solver.touch(*_link_keys(link))
         self._recompute()
 
-    def kill_flows_on(self, link, cause: Exception) -> int:
+    def kill_flows_on(self, link: Link, cause: Exception) -> int:
         """Fail every in-flight flow crossing ``link`` (cable pull).
 
         Each affected flow's done event fails with ``cause``; waiting
         processes see the exception at their ``yield``.  Returns the
-        number of flows killed.
+        number of flows killed.  Victims come from the per-link flow
+        index — O(victims), not O(flows x segments).
         """
         self._advance()
-        victims = [f for f in self._flows.values()
-                   if any(seg.link is link for seg in f.segments)]
+        victims = sorted(self._solver.flows_on(*_link_keys(link)),
+                         key=lambda flow: flow.id)
         for flow in victims:
             del self._flows[flow.id]
+            self._solver.remove(flow)
             flow.done.fail(cause)
         if victims:
             self._recompute()
@@ -154,11 +190,18 @@ class FlowScheduler:
             done.succeed(nbytes)
             self.completed += 1
             return done
-        flow = Flow(segments, nbytes, done, label)
+        flow = Flow(segments, nbytes, done, label,
+                    flow_id=next(self._ids))
         self._advance()
         self._flows[flow.id] = flow
+        self._solver.add(flow)
         self._recompute()
         return done
+
+    # -- equivalence oracle ------------------------------------------------
+    def assert_rates_equivalent(self, rtol: float = 1e-9) -> None:
+        """Cross-check current rates against batch water-filling."""
+        self._solver.assert_equivalent(rtol)
 
     # -- internals -------------------------------------------------------
     def _advance(self) -> None:
@@ -178,49 +221,17 @@ class FlowScheduler:
     def _recompute(self) -> None:
         """Complete drained flows, re-assign fair rates, re-arm the timer."""
         self._complete_drained()
-        self._assign_rates(self._flows.values())
+        if self.incremental:
+            self._solver.solve()
+        else:
+            self._solver.solve_full()
         self._arm_timer()
 
     @staticmethod
     def _assign_rates(flows: Iterable[Flow]) -> None:
-        """Progressive filling: water-fill rates subject to link capacity."""
-        unfrozen: set[Flow] = set(flows)
-        # Residual capacity and unfrozen users per directed link.
-        residual: dict[tuple, float] = {}
-        users: dict[tuple, set[Flow]] = {}
-        for flow in unfrozen:
-            for seg in flow.segments:
-                residual.setdefault(seg.key, seg.capacity)
-                users.setdefault(seg.key, set()).add(flow)
-
-        while unfrozen:
-            # Find the bottleneck: the directed link with the smallest
-            # equal share among its unfrozen users.
-            best_key = None
-            best_share = float("inf")
-            for key, flows_on in users.items():
-                if not flows_on:
-                    continue
-                share = residual[key] / len(flows_on)
-                if share < best_share:
-                    best_share = share
-                    best_key = key
-            if best_key is None:
-                # Remaining flows cross no constrained link.
-                for flow in unfrozen:
-                    flow.rate = float("inf")
-                break
-            frozen_now = list(users[best_key])
-            for flow in frozen_now:
-                flow.rate = best_share
-                unfrozen.discard(flow)
-                for seg in flow.segments:
-                    users[seg.key].discard(flow)
-                    if seg.key != best_key:
-                        residual[seg.key] = max(
-                            0.0, residual[seg.key] - best_share)
-            residual[best_key] = 0.0
-            users[best_key].clear()
+        """Batch progressive filling (the reference oracle, kept for
+        direct callers; see :func:`repro.fabric.maxmin.water_fill`)."""
+        apply_rates(flows)
 
     def _complete_drained(self) -> None:
         done_ids = [fid for fid, f in self._flows.items()
@@ -228,6 +239,7 @@ class FlowScheduler:
         now = self.env.now
         for fid in done_ids:
             flow = self._flows.pop(fid)
+            self._solver.remove(flow)
             if flow.remaining > 0:
                 # Account the float-rounding residual so byte conservation
                 # holds exactly on the link counters.

@@ -91,6 +91,10 @@ class PCIeSwitch:
             raise ValueError(f"{node!r} is not upstream of {self.name}")
         self.topology.remove_link(link)
 
+    def uplink_to(self, node: str) -> Link:
+        """The upstream link toward ``node`` (KeyError if not cabled)."""
+        return self._upstream[node]
+
     def attach(self, device_node: str,
                spec: Optional[LinkSpec] = None) -> Link:
         """Plug a device into a free downstream port."""

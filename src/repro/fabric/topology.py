@@ -168,7 +168,7 @@ class Topology:
         """
         link.retrain(link.spec.scaled(lanes))
         self._route_cache.clear()
-        self.scheduler.poke()
+        self.scheduler.poke(link)
 
     def restore_link(self, link: Link,
                      spec: Optional[LinkSpec] = None) -> None:
@@ -191,7 +191,7 @@ class Topology:
             link.failed = False
         link.retrain(spec or link.original_spec)
         self._route_cache.clear()
-        self.scheduler.poke()
+        self.scheduler.poke(link)
 
     def fail_link(self, link: Link,
                   cause: Optional[Exception] = None) -> int:

@@ -1,0 +1,22 @@
+"""Fleet-scale scheduling: job traces and a cluster scheduler.
+
+This package turns the multi-chassis :class:`~repro.core.ComposableFleet`
+into a shared cluster: :mod:`~repro.fleet.trace` synthesizes seeded
+Poisson job traces with a production-skewed job-size mix, and
+:mod:`~repro.fleet.scheduler` places those jobs onto composable GPU
+inventory through the management plane's attach/detach API, measuring
+queueing delay, GPU utilization, and cross-job fabric contention on the
+shared spine uplinks.
+"""
+
+from .scheduler import ClusterScheduler, FleetRunResult, JobRecord
+from .trace import JobRequest, TraceConfig, generate_trace
+
+__all__ = [
+    "ClusterScheduler",
+    "FleetRunResult",
+    "JobRecord",
+    "JobRequest",
+    "TraceConfig",
+    "generate_trace",
+]

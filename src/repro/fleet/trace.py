@@ -1,0 +1,119 @@
+"""Synthetic job traces for the fleet scheduler.
+
+Arrivals are Poisson (exponential inter-arrival times) and the job-size
+mix is skewed small, following the shape production ML-cluster traces
+report (the Alibaba PAI and Microsoft Philly analyses both find that
+single- and few-GPU jobs dominate by count while a thin tail of 8-GPU
+jobs dominates by GPU demand).  Everything is driven by one seeded
+``random.Random``, so a trace is a pure function of its config — the
+fleet experiments and tests rely on that determinism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..workloads import get_benchmark
+
+__all__ = ["JobRequest", "TraceConfig", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job submission: when it arrives and what it wants."""
+
+    job_id: int
+    #: Submission time, simulated seconds.
+    arrival: float
+    #: GPUs requested (the scheduler composes them from any chassis).
+    gpus: int
+    benchmark: str
+    #: Parallel strategy key ("ddp" or "dp").
+    strategy: str
+    #: Optimizer steps actually simulated.
+    sim_steps: int
+    #: Global batch, pre-scaled to the requested world size.
+    global_batch: int
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of the synthetic trace (all defaults CI-sized)."""
+
+    jobs: int = 24
+    #: Mean inter-arrival time, seconds (Poisson process).
+    mean_interarrival: float = 40.0
+    seed: int = 0
+    #: (world size, probability) — small jobs dominate by count.
+    gpu_mix: tuple = ((1, 0.40), (2, 0.30), (4, 0.22), (8, 0.08))
+    #: (strategy key, probability).
+    strategy_mix: tuple = (("ddp", 0.85), ("dp", 0.15))
+    benchmarks: tuple = ("mobilenetv2", "resnet50", "bert-base")
+    #: Inclusive range of simulated optimizer steps per job.
+    sim_steps: tuple = (2, 5)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("a trace needs at least one job")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be positive")
+        for mix, label in ((self.gpu_mix, "gpu_mix"),
+                           (self.strategy_mix, "strategy_mix")):
+            total = sum(w for _, w in mix)
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(f"{label} probabilities sum to {total}, "
+                                 "expected 1.0")
+
+
+def _weighted(rng: random.Random, mix) -> object:
+    """Deterministic weighted draw (cumulative scan, one uniform)."""
+    u = rng.random()
+    acc = 0.0
+    for value, weight in mix:
+        acc += weight
+        if u < acc:
+            return value
+    return mix[-1][0]
+
+
+def _scaled_batch(benchmark_key: str, gpus: int) -> int:
+    """Global batch for a ``gpus``-wide world at the paper's per-GPU
+    batch (the benchmark's ``global_batch`` field is the 8-GPU value)."""
+    per_gpu = max(1, get_benchmark(benchmark_key).global_batch // 8)
+    return per_gpu * gpus
+
+
+def generate_trace(config: Optional[TraceConfig] = None,
+                   **overrides) -> tuple:
+    """Generate a seeded job trace; returns a tuple of JobRequests.
+
+    Keyword overrides are applied on top of ``config`` (or the default
+    :class:`TraceConfig`), e.g. ``generate_trace(jobs=6, seed=3)``.
+    """
+    if config is None:
+        config = TraceConfig(**overrides)
+    elif overrides:
+        from dataclasses import replace
+        config = replace(config, **overrides)
+    rng = random.Random(config.seed)
+    requests = []
+    t = 0.0
+    lo, hi = config.sim_steps
+    for job_id in range(config.jobs):
+        t += rng.expovariate(1.0 / config.mean_interarrival)
+        gpus = _weighted(rng, config.gpu_mix)
+        strategy = _weighted(rng, config.strategy_mix)
+        benchmark = config.benchmarks[
+            rng.randrange(len(config.benchmarks))]
+        requests.append(JobRequest(
+            job_id=job_id,
+            arrival=t,
+            gpus=gpus,
+            benchmark=benchmark,
+            strategy=strategy,
+            sim_steps=rng.randint(lo, hi),
+            global_batch=_scaled_batch(benchmark, gpus),
+        ))
+    return tuple(requests)

@@ -49,9 +49,9 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Callable, Optional
 
-from ..fabric.flows import FlowScheduler
 from ..fabric.flows import _EPSILON_BYTES as _EPS_BYTES
 from ..fabric.flows import _EPSILON_SECONDS as _EPS_SECONDS
+from ..fabric.maxmin import MaxMinSolver
 from .executor import ExecutionContext, PlanExecution
 from .ir import (
     Barrier,
@@ -214,9 +214,11 @@ class _Engine:
         self._io_active = 0
         self._io_queue: list = []
         self._last_io_ready: Optional[float] = None
-        # Global fluid timeline (insertion-ordered, like FlowScheduler).
+        # Global fluid timeline (insertion-ordered, like FlowScheduler),
+        # rated by the same incremental component solver.
         self._flows: dict = {}
         self._flow_ids = 0
+        self._solver = MaxMinSolver()
         self._last_update = 0.0
         self._generation = 0
 
@@ -467,6 +469,7 @@ class _Engine:
         self._advance(now)
         self._flow_ids += 1
         self._flows[self._flow_ids] = flow
+        self._solver.add(flow)
         self._recompute(now)
 
     def _advance(self, now: float) -> None:
@@ -481,13 +484,15 @@ class _Engine:
 
     def _recompute(self, now: float) -> None:
         # Complete drained flows under the *current* rates, then
-        # water-fill the survivors — the FlowScheduler update order.
+        # water-fill the affected components — the FlowScheduler update
+        # order, with the same incremental solver.
         drained = [fid for fid, f in self._flows.items()
                    if self._is_drained(f)]
         for fid in drained:
             flow = self._flows.pop(fid)
+            self._solver.remove(flow)
             self._schedule(now, flow.on_done)
-        FlowScheduler._assign_rates(self._flows.values())
+        self._solver.solve()
         self._arm_timer(now)
 
     @staticmethod

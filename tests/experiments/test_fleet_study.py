@@ -1,0 +1,77 @@
+"""Tests for the fleet experiment runner and its CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import FleetSpec
+from repro.experiments import SMOKE_SPEC, fleet_study
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    # One smoke run shared by the assertions below (each run simulates a
+    # full multi-job trace).
+    return fleet_study(smoke=True)
+
+
+class TestFleetStudy:
+    def test_smoke_invariants_hold(self, smoke_report):
+        checks = smoke_report["checks"]
+        assert checks["ok"], {k: v for k, v in checks.items() if not v}
+
+    def test_smoke_report_shape(self, smoke_report):
+        assert smoke_report["spec"] == SMOKE_SPEC.name
+        assert smoke_report["chassis"] == 2
+        assert smoke_report["jobs"] == 8
+        assert len(smoke_report["records"]) == 8
+        assert smoke_report["meta"]["smoke"] is True
+        assert smoke_report["busiest_spine_link"] in \
+            smoke_report["spine_traffic_gbs"]
+
+    def test_smoke_trace_oversubscribes_the_fleet(self, smoke_report):
+        # The smoke config intentionally front-loads the queue so FIFO
+        # delays are visible.
+        assert smoke_report["max_queue_delay_s"] > 0.0
+
+    def test_seed_determinism(self):
+        tiny = dict(spec=FleetSpec(name="tiny", chassis=2, hosts=1,
+                                   gpus_per_chassis=2),
+                    jobs=3, mean_interarrival=1.0, sim_steps=(2, 2))
+        a = fleet_study(seed=5, **tiny)
+        b = fleet_study(seed=5, **tiny)
+        assert a["records"] == b["records"]
+        assert a["makespan_s"] == b["makespan_s"]
+
+    def test_custom_spec_reported(self):
+        spec = FleetSpec(name="tri", chassis=3, hosts=1,
+                         gpus_per_chassis=2)
+        report = fleet_study(spec=spec, jobs=2, mean_interarrival=1.0,
+                             sim_steps=(2, 2))
+        assert report["spec"] == "tri"
+        assert report["chassis"] == 3
+        assert report["checks"]["multi_chassis"]
+
+
+class TestFleetCLI:
+    def test_fleet_smoke_exits_zero(self, capsys):
+        assert main(["fleet", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "GPU utilization" in out
+        assert "spine" in out.lower()
+
+    def test_fleet_json_output(self, capsys, tmp_path):
+        out_path = tmp_path / "fleet.json"
+        assert main(["fleet", "--smoke", "--output",
+                     str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["checks"]["ok"]
+        assert report["jobs"] == 8
+
+    def test_fleet_custom_shape(self, capsys):
+        assert main(["fleet", "--chassis", "2", "--hosts", "1",
+                     "--gpus-per-chassis", "2", "--trace-jobs", "3",
+                     "--interarrival", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "job" in out.lower()

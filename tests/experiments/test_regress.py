@@ -7,6 +7,7 @@ import pytest
 
 from repro.experiments.regress import (
     DEFAULT_TOLERANCE,
+    MIN_CHURN_SPEEDUP,
     SEMANTIC_RTOL,
     compare_reports,
     find_baseline,
@@ -151,3 +152,49 @@ class TestRunRegression:
         keys = {(r["configuration"], r["variant"])
                 for r in report["plan_eval"]}
         assert ("localGPUs", "DDP-FP16") in keys
+
+
+class TestChurnGate:
+    """The flow-churn microbench pins the incremental solver speedup."""
+
+    @staticmethod
+    def churn(speedup=12.0, equivalent=True):
+        return {"flows": 1000, "links": 64, "churn_ops": 100,
+                "incremental_s": 0.1, "batch_s": 0.1 * speedup,
+                "speedup": speedup, "equivalent": equivalent}
+
+    def test_fast_equivalent_churn_passes(self):
+        base = make_report()
+        base["flow_churn"] = self.churn(speedup=10.0)
+        current = make_report()
+        current["flow_churn"] = self.churn(speedup=12.0)
+        report = compare_reports(base, current)
+        assert report.ok
+        assert report.churn["ok"]
+        assert "flow churn" in report.render_text()
+
+    def test_speedup_below_floor_fails(self):
+        current = make_report()
+        current["flow_churn"] = self.churn(speedup=MIN_CHURN_SPEEDUP / 2)
+        report = compare_reports(make_report(), current)
+        assert not report.ok
+        assert not report.churn["ok"]
+
+    def test_divergence_from_oracle_fails(self):
+        current = make_report()
+        current["flow_churn"] = self.churn(speedup=50.0,
+                                           equivalent=False)
+        report = compare_reports(make_report(), current)
+        assert not report.ok
+
+    def test_reports_without_churn_are_ungated(self):
+        # Old baselines predate the microbench: nothing to gate.
+        report = compare_reports(make_report(), make_report())
+        assert report.churn is None
+        assert report.ok
+
+    def test_churn_in_as_dict(self):
+        current = make_report()
+        current["flow_churn"] = self.churn()
+        report = compare_reports(make_report(), current)
+        assert report.as_dict()["flow_churn"]["ok"]

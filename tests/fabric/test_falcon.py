@@ -308,3 +308,54 @@ class TestTrafficAndConfig:
             "host_connected", "device_installed", "device_allocated",
             "device_deallocated", "device_removed", "host_disconnected",
         ]
+
+
+class TestFabricHostConnections:
+    """Leaf/spine admission: connect_fabric_host shares drawer trunks."""
+
+    @pytest.fixture()
+    def spine(self, topo):
+        topo.add_node("spine0", kind="switch", transit=True)
+        return "spine0"
+
+    def test_first_admission_cables_one_trunk(self, falcon, spine):
+        link = falcon.connect_fabric_host("H1", "hostA", spine, drawer=0)
+        switch = falcon.drawers[0].switches[0]
+        assert spine in switch.upstream
+        assert switch.uplink_to(spine) is link
+        assert falcon.port_map["H1"] == ("hostA", 0)
+        assert "hostA" in falcon.drawers[0].hosts
+
+    def test_second_admission_shares_the_trunk(self, falcon, spine):
+        first = falcon.connect_fabric_host("H1", "hostA", spine, drawer=0)
+        second = falcon.connect_fabric_host("H2", "hostB", spine, drawer=0)
+        # One physical cable: both hosts ride the same Link object.
+        assert second is first
+
+    def test_disconnect_keeps_shared_trunk_until_last_host(
+            self, falcon, spine):
+        falcon.connect_fabric_host("H1", "hostA", spine, drawer=0)
+        falcon.connect_fabric_host("H2", "hostB", spine, drawer=0)
+        switch = falcon.drawers[0].switches[0]
+        falcon.disconnect_host("H2")
+        assert spine in switch.upstream  # hostA still rides it
+        falcon.disconnect_host("H1")
+        assert spine not in switch.upstream  # last sharer uncables
+
+    def test_duplicate_host_rejected(self, falcon, spine):
+        falcon.connect_fabric_host("H1", "hostA", spine, drawer=0)
+        with pytest.raises(FalconError, match="already connected"):
+            falcon.connect_fabric_host("H2", "hostA", spine, drawer=0)
+
+    def test_used_port_rejected(self, falcon, spine):
+        falcon.connect_fabric_host("H1", "hostA", spine, drawer=0)
+        with pytest.raises(FalconError, match="already in use"):
+            falcon.connect_fabric_host("H1", "hostB", spine, drawer=0)
+
+    def test_connection_limit_enforced(self, topo, spine):
+        falcon = Falcon4016(topo, "falcon0", mode=FalconMode.ADVANCED)
+        for i in range(falcon.max_hosts_per_drawer):
+            falcon.connect_fabric_host(falcon.HOST_PORTS[i], f"host{i}",
+                                       spine, drawer=0)
+        with pytest.raises(FalconError, match="connections"):
+            falcon.connect_fabric_host("H4", "hostX", spine, drawer=0)

@@ -1,0 +1,77 @@
+"""Tests for the seeded synthetic job-trace generator."""
+
+import pytest
+
+from repro.fleet import JobRequest, TraceConfig, generate_trace
+from repro.workloads import get_benchmark
+
+
+def test_trace_is_deterministic_per_seed():
+    assert generate_trace(jobs=12, seed=7) == generate_trace(jobs=12,
+                                                             seed=7)
+
+
+def test_different_seeds_differ():
+    assert generate_trace(jobs=12, seed=0) != generate_trace(jobs=12,
+                                                             seed=1)
+
+
+def test_trace_shape():
+    trace = generate_trace(jobs=10, seed=3)
+    assert len(trace) == 10
+    assert [r.job_id for r in trace] == list(range(10))
+    arrivals = [r.arrival for r in trace]
+    assert arrivals == sorted(arrivals)
+    assert all(r.arrival > 0 for r in trace)
+
+
+def test_draws_come_from_the_configured_mixes():
+    config = TraceConfig(jobs=60, seed=5)
+    trace = generate_trace(config)
+    sizes = {size for size, _ in config.gpu_mix}
+    strategies = {key for key, _ in config.strategy_mix}
+    lo, hi = config.sim_steps
+    for req in trace:
+        assert req.gpus in sizes
+        assert req.strategy in strategies
+        assert req.benchmark in config.benchmarks
+        assert lo <= req.sim_steps <= hi
+
+
+def test_small_jobs_dominate_by_count():
+    trace = generate_trace(jobs=200, seed=11)
+    small = sum(1 for r in trace if r.gpus <= 2)
+    assert small > len(trace) / 2
+
+
+def test_global_batch_scales_with_world_size():
+    trace = generate_trace(jobs=40, seed=2)
+    for req in trace:
+        per_gpu = max(1, get_benchmark(req.benchmark).global_batch // 8)
+        assert req.global_batch == per_gpu * req.gpus
+
+
+def test_config_overrides_on_top_of_explicit_config():
+    config = TraceConfig(jobs=5, seed=1, mean_interarrival=2.0)
+    trace = generate_trace(config, jobs=3)
+    assert len(trace) == 3
+    # The rest of the config survived the override.
+    assert trace == generate_trace(jobs=3, seed=1, mean_interarrival=2.0)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"jobs": 0},
+    {"mean_interarrival": 0.0},
+    {"gpu_mix": ((1, 0.5), (2, 0.6))},
+    {"strategy_mix": (("ddp", 0.5),)},
+])
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        TraceConfig(**kwargs)
+
+
+def test_requests_are_frozen():
+    (req,) = generate_trace(jobs=1, seed=0)
+    assert isinstance(req, JobRequest)
+    with pytest.raises(AttributeError):
+        req.gpus = 99
