@@ -7,7 +7,7 @@ Usage::
     python -m repro fig9  [--steps N]
     python -m repro fig10|fig11|fig12|fig13|fig14  [--steps N]
     python -m repro fig15 [--steps N]
-    python -m repro fig16 [--steps N]
+    python -m repro fig16 [--steps N] [--profile] [--matrix]
     # figure sweeps also accept [--jobs N] [--no-cache] [--cache-dir DIR]
     python -m repro sharing                 # future-work tenancy studies
     python -m repro fault-tolerance [--config NAME] [--steps N] [--seed S]
@@ -22,15 +22,24 @@ Usage::
     python -m repro trace <benchmark> [--backend local|falcon|hybrid]
                                       [--steps N] [--trace-out trace.json]
                                       [--smoke]
-    python -m repro plan <benchmark> [--strategy dp|ddp|sharded|pipeline]
+    python -m repro plan <benchmark> [--strategy dp|ddp|sharded|pipeline
+                                                 |tp|2d|fsdp]
                                      [--config NAME] [--validate]
+                                     [--global-batch N] [--accumulation N]
                                      [--diff OTHER-STRATEGY]
                                      [--opt PASS[,PASS...]|all]
+    python -m repro matrix [--smoke] [--steps N] [--models A,B]
+                           [--strategies A,B] [--opt PASS|all]
+                           [--output grid.json]
+                                            # strategy x model crossover
+                                            # frontier on both backends
     python -m repro fig16-opt [--steps N] [--trace-out trace.json]
     python -m repro perfbench [--smoke] [--jobs N] [--output DIR]
     python -m repro profile <benchmark> [--backend local|falcon|hybrid]
-                                        [--strategy dp|ddp|sharded|pipeline]
+                                        [--strategy dp|...|tp|2d|fsdp]
                                         [--steps N] [--format text|json]
+                                        [--global-batch N]
+                                        [--accumulation N]
                                         [--no-what-if] [--output PATH]
     python -m repro regress [--baseline PATH] [--tolerance F] [--full]
                             [--output PATH]
@@ -71,8 +80,9 @@ TRACE_BACKENDS = {
     "hybrid": "hybridGPUs",
 }
 
-#: ``plan --strategy`` choices; resolved to classes inside ``main``.
-PLAN_STRATEGIES = ("dp", "ddp", "sharded", "pipeline")
+#: ``plan --strategy`` choices; resolved via ``STRATEGY_REGISTRY``.
+PLAN_STRATEGIES = ("dp", "ddp", "sharded", "pipeline", "tp", "2d",
+                   "fsdp")
 
 
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
@@ -111,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="annotate every grid cell with its "
                                 "bottleneck label (plan-level "
                                 "critical-path attribution)")
+            p.add_argument("--matrix", action="store_true",
+                           help="also print the strategy crossover "
+                                "frontier for the fig16 benchmark "
+                                "(every registered strategy on both "
+                                "backends)")
 
     ft = sub.add_parser("fault-tolerance",
                         help="chaos scenario vs resilient training")
@@ -219,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--opt", default=None, metavar="PASS[,PASS...]",
                          help="apply optimization passes before "
                               "profiling (names or 'all')")
+    profile.add_argument("--global-batch", type=int, default=None,
+                         help="override the benchmark's native global "
+                              "batch (memory-hungry strategies may "
+                              "need a smaller one)")
+    profile.add_argument("--accumulation", type=int, default=1,
+                         help="gradient accumulation steps "
+                              "(default: 1)")
     profile.add_argument("--format", default="text",
                          choices=("text", "json"),
                          help="report format (default: text)")
@@ -227,6 +249,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "keeps attribution and the verdict)")
     profile.add_argument("--output", default=None, metavar="PATH",
                          help="also write the JSON report here")
+
+    matrix = sub.add_parser(
+        "matrix", help="strategy x model crossover matrix: every "
+                       "registered strategy on both backends, winners "
+                       "by time/sample, and the models whose winner "
+                       "flips between local and falcon")
+    matrix.add_argument("--smoke", action="store_true",
+                        help="two-model slice for CI; exits non-zero "
+                             "unless a crossover model is found")
+    matrix.add_argument("--steps", type=int, default=6,
+                        help="simulated optimizer steps per cell")
+    matrix.add_argument("--models", default=None,
+                        metavar="NAME[,NAME...]",
+                        help="benchmark subset (default: all)")
+    matrix.add_argument("--strategies", default=None,
+                        metavar="NAME[,NAME...]",
+                        help="strategy subset (default: all registered)")
+    matrix.add_argument("--opt", default=None, metavar="PASS[,PASS...]",
+                        help="apply optimization passes to every cell "
+                             "(names or 'all')")
+    matrix.add_argument("--output", default=None, metavar="PATH",
+                        help="also write the full grid as JSON here")
+    _add_parallel_args(matrix)
 
     fleet = sub.add_parser(
         "fleet", help="multi-chassis fleet study: run a seeded job "
@@ -279,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=CONFIGURATION_ORDER)
     plan.add_argument("--global-batch", type=int, default=None,
                       help="override the benchmark's default global batch")
+    plan.add_argument("--accumulation", type=int, default=1,
+                      help="gradient-accumulation micro-steps (shrinks "
+                           "the micro-batch, e.g. to fit tp/2d plans)")
     plan.add_argument("--validate", action="store_true",
                       help="run the cycle/rank-symmetry/bytes-conservation "
                            "passes; non-zero exit on problems")
@@ -439,6 +487,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ["Variant", "local bottleneck", "falcon bottleneck"],
                 rows, title="Fig 16 bottleneck annotation "
                             "(critical-path attribution)") + "\n")
+        if getattr(args, "matrix", False):
+            from .experiments import format_matrix, run_matrix
+            report = run_matrix(models=("bert-large",),
+                                sim_steps=max(4, args.steps // 2),
+                                **sweep_kwargs())
+            out("\n" + format_matrix(report) + "\n")
         return 0
 
     if args.command == "fig16-opt":
@@ -768,10 +822,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             except PassError as exc:
                 out(f"error: {exc}\n")
                 return 2
-        report = profile_cell(
-            args.benchmark, TRACE_BACKENDS[args.backend], args.strategy,
-            sim_steps=args.steps, plan_passes=args.opt,
-            evaluate_what_ifs=not args.no_what_if)
+        try:
+            report = profile_cell(
+                args.benchmark, TRACE_BACKENDS[args.backend],
+                args.strategy, sim_steps=args.steps,
+                plan_passes=args.opt,
+                evaluate_what_ifs=not args.no_what_if,
+                global_batch=args.global_batch,
+                accumulation_steps=args.accumulation)
+        except (ValueError, MemoryError) as exc:
+            out(f"error: {exc}\n")
+            out("hint: shrink --global-batch or raise "
+                "--accumulation\n")
+            return 2
         if args.format == "json":
             out(report.render_json() + "\n")
         else:
@@ -872,23 +935,57 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             out(f"wrote {args.output}\n")
         return 0 if report.ok else 1
 
+    if args.command == "matrix":
+        import json
+
+        from .experiments import format_matrix, run_matrix
+        from .experiments.matrix import MATRIX_MODELS, SMOKE_MODELS
+
+        models = tuple(args.models.split(",")) if args.models else None
+        strategies = (tuple(args.strategies.split(","))
+                      if args.strategies else None)
+        if models is None:
+            models = SMOKE_MODELS if args.smoke else MATRIX_MODELS
+        known = benchmark_names()
+        bad = [m for m in models if m not in known]
+        if bad:
+            out(f"error: unknown benchmark(s) {', '.join(bad)}; "
+                f"one of {', '.join(known)}\n")
+            return 2
+        if args.opt:
+            from .plan.passes import PassError, resolve_passes
+            try:
+                resolve_passes(args.opt)
+            except PassError as exc:
+                out(f"error: {exc}\n")
+                return 2
+        steps = min(args.steps, 4) if args.smoke else args.steps
+        report = run_matrix(
+            models=models, strategies=strategies, sim_steps=steps,
+            plan_passes=args.opt, **sweep_kwargs())
+        out(format_matrix(report) + "\n")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            out(f"wrote {args.output}\n")
+        if args.smoke:
+            if not report.crossover_models:
+                out("matrix smoke FAILED: no model's winning strategy "
+                    "differs between backends\n")
+                return 1
+            out(f"matrix smoke OK: crossover on "
+                f"{', '.join(report.crossover_models)}\n")
+        return 0
+
     if args.command == "plan":
         from .plan import diff_plans, format_diff, format_plan, validate_plan
         from .training import (
-            DataParallel,
-            DistributedDataParallel,
-            PipelineParallel,
-            ShardedDataParallel,
+            STRATEGY_REGISTRY,
             TrainingConfig,
             TrainingJob,
         )
 
-        strategy_classes = {
-            "dp": DataParallel,
-            "ddp": DistributedDataParallel,
-            "sharded": ShardedDataParallel,
-            "pipeline": PipelineParallel,
-        }
+        strategy_classes = STRATEGY_REGISTRY
 
         if args.opt:
             from .plan.passes import PassError, resolve_passes
@@ -908,13 +1005,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 benchmark=get_benchmark(args.benchmark),
                 strategy=strategy_classes[strategy_name](),
                 global_batch=args.global_batch,
+                accumulation_steps=args.accumulation,
                 plan_passes=args.opt,
             )
             job = TrainingJob(system.env, system.topology, system.host,
                               list(active.gpus), active.storage, config)
             return job
 
-        job = compile_plan(args.strategy)
+        try:
+            job = compile_plan(args.strategy)
+        except (ValueError, MemoryError) as exc:
+            out(f"error: {exc}\n"
+                "hint: shrink --global-batch or raise --accumulation\n")
+            return 2
         plan = job.step_plan
         out(format_plan(plan) + "\n")
         for report in job.pass_reports:

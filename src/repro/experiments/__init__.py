@@ -27,6 +27,9 @@ scaling_laws` (what actually drives the size-overhead correlation),
 :mod:`~repro.experiments.recommender` (the §VI topology-recommendation
 framework), :mod:`~repro.experiments.profiling` (bottleneck reports and
 Fig. 16 grid annotation via the plan-level profiler),
+:mod:`~repro.experiments.matrix` (the strategy x model x backend
+crossover frontier: which parallelization wins where, and which models
+flip winners between the local and composed fabrics),
 :mod:`~repro.experiments.regress` (the perf-regression gate over
 ``BENCH_*.json`` baselines), :mod:`~repro.experiments.fleet`
 (multi-chassis cluster scheduling: utilization, queueing delay, spine
@@ -70,6 +73,14 @@ from .recommender import (
     ResourcePricing,
     ScoredConfiguration,
     TopologyRecommender,
+)
+from .matrix import (
+    MATRIX_MODELS,
+    SMOKE_MODELS,
+    MatrixCell,
+    MatrixReport,
+    format_matrix,
+    run_matrix,
 )
 from .parallel import (
     NullCache,
@@ -139,6 +150,12 @@ __all__ = [
     "collect_provenance",
     "profile_cell",
     "bottleneck_labels",
+    "MatrixCell",
+    "MatrixReport",
+    "MATRIX_MODELS",
+    "SMOKE_MODELS",
+    "run_matrix",
+    "format_matrix",
     "RegressionReport",
     "compare_reports",
     "find_baseline",

@@ -210,15 +210,8 @@ def record_from_value(value: dict) -> ExperimentRecord:
 def _build_strategy(spec: Optional[dict]):
     if spec is None:
         return None
-    from ..training import (
-        DataParallel,
-        DistributedDataParallel,
-        PipelineParallel,
-        ShardedDataParallel,
-    )
-    types = {cls.__name__: cls for cls in (
-        DataParallel, DistributedDataParallel, ShardedDataParallel,
-        PipelineParallel)}
+    from ..training import STRATEGY_REGISTRY
+    types = {cls.__name__: cls for cls in STRATEGY_REGISTRY.values()}
     try:
         cls = types[spec["type"]]
     except KeyError:

@@ -31,35 +31,27 @@ from ..telemetry.profile import (
     what_if,
 )
 
-__all__ = ["profile_cell", "bottleneck_labels", "STRATEGY_NAMES"]
+__all__ = ["profile_cell", "profile_plan_for_job", "bottleneck_labels",
+           "STRATEGY_NAMES"]
 
 #: CLI strategy names -> training strategy factories (resolved lazily).
-STRATEGY_NAMES = ("dp", "ddp", "sharded", "pipeline")
+STRATEGY_NAMES = ("dp", "ddp", "sharded", "pipeline", "tp", "2d", "fsdp")
 
 
 def _strategy_factory(name: str):
-    from ..training import (
-        DataParallel,
-        DistributedDataParallel,
-        PipelineParallel,
-        ShardedDataParallel,
-    )
-    classes = {
-        "dp": DataParallel,
-        "ddp": DistributedDataParallel,
-        "sharded": ShardedDataParallel,
-        "pipeline": PipelineParallel,
-    }
+    from ..training import STRATEGY_REGISTRY
     try:
-        return classes[name]
+        return STRATEGY_REGISTRY[name]
     except KeyError:
         raise ValueError(f"unknown strategy {name!r}; "
-                         f"one of {STRATEGY_NAMES}") from None
+                         f"one of {tuple(STRATEGY_REGISTRY)}") from None
 
 
 def _build_cell_job(benchmark: str, configuration: str, strategy: str,
                     sim_steps: Optional[int] = None,
-                    plan_passes: Optional[str] = None):
+                    plan_passes: Optional[str] = None,
+                    global_batch: Optional[int] = None,
+                    accumulation_steps: int = 1):
     """One cell's TrainingJob on a fresh ComposableSystem (never run)."""
     from ..core import ComposableSystem
     from ..training import TrainingConfig, TrainingJob
@@ -70,21 +62,32 @@ def _build_cell_job(benchmark: str, configuration: str, strategy: str,
     kwargs = {}
     if sim_steps is not None:
         kwargs["sim_steps"] = sim_steps
+    if global_batch is not None:
+        kwargs["global_batch"] = global_batch
     config = TrainingConfig(
         benchmark=get_benchmark(benchmark),
         strategy=_strategy_factory(strategy)(),
         plan_passes=plan_passes,
+        accumulation_steps=accumulation_steps,
         **kwargs)
     job = TrainingJob(system.env, system.topology, system.host,
                       list(active.gpus), active.storage, config)
     return job
 
 
+def profile_plan_for_job(job):
+    """Plan-level profile of an un-run job's step plan (cheap: one
+    fast-path evaluation + critical-path walk, no event simulation)."""
+    return profile_plan(job.step_plan, ctx=job._exec_ctx)
+
+
 def profile_cell(benchmark: str, configuration: str, strategy: str = "ddp",
                  sim_steps: Optional[int] = None,
                  plan_passes: Optional[str] = None,
                  what_if_buckets: Sequence[str] = SCALE_BUCKETS,
-                 evaluate_what_ifs: bool = True) -> BottleneckReport:
+                 evaluate_what_ifs: bool = True,
+                 global_batch: Optional[int] = None,
+                 accumulation_steps: int = 1) -> BottleneckReport:
     """Profile one benchmark x strategy x configuration cell fully.
 
     Runs the cell's training job under the profiler (absolute per-op
@@ -98,7 +101,9 @@ def profile_cell(benchmark: str, configuration: str, strategy: str = "ddp",
     from ..plan.fastpath import fastpath_schedule
 
     job = _build_cell_job(benchmark, configuration, strategy,
-                          sim_steps=sim_steps, plan_passes=plan_passes)
+                          sim_steps=sim_steps, plan_passes=plan_passes,
+                          global_batch=global_batch,
+                          accumulation_steps=accumulation_steps)
     plan = job.step_plan
     world = plan.world_size
     # The pure fast path never advances the environment, so the same
@@ -111,9 +116,10 @@ def profile_cell(benchmark: str, configuration: str, strategy: str = "ddp",
     for bucket in what_if_buckets:
         eval_ctx = None
         if evaluate_what_ifs:
-            throwaway = _build_cell_job(benchmark, configuration,
-                                        strategy, sim_steps=sim_steps,
-                                        plan_passes=plan_passes)
+            throwaway = _build_cell_job(
+                benchmark, configuration, strategy, sim_steps=sim_steps,
+                plan_passes=plan_passes, global_batch=global_batch,
+                accumulation_steps=accumulation_steps)
             eval_ctx = throwaway._exec_ctx
         what_ifs.append(what_if(plan, base, job._exec_ctx, bucket, 0.0,
                                 cp_attr=plan_prof.attr,

@@ -199,19 +199,26 @@ class PlanExecution:
 
     def _join_collective(self, op):
         comm = self.ctx.comm
+        rank, root = op.rank, op.root
+        if op.group is not None:
+            # Grouped collective: rendezvous on the sub-communicator,
+            # with rank/root translated to group-local indices.
+            comm = comm.subgroup(op.group)
+            rank = op.group.index(op.rank)
+            root = op.group.index(op.root) if op.root is not None else None
         chunk = op.chunk_bytes
         if op.comm == "allreduce":
-            return comm.allreduce(op.rank, op.bytes, chunk_bytes=chunk)
+            return comm.allreduce(rank, op.bytes, chunk_bytes=chunk)
         if op.comm == "reduce_scatter":
-            return comm.reduce_scatter(op.rank, op.bytes,
+            return comm.reduce_scatter(rank, op.bytes,
                                        chunk_bytes=chunk)
         if op.comm == "all_gather":
-            return comm.allgather(op.rank, op.bytes, chunk_bytes=chunk)
+            return comm.allgather(rank, op.bytes, chunk_bytes=chunk)
         if op.comm == "broadcast":
-            return comm.broadcast(op.rank, op.bytes, root=op.root or 0,
+            return comm.broadcast(rank, op.bytes, root=root or 0,
                                   chunk_bytes=chunk)
         if op.comm == "reduce":
-            return comm.reduce(op.rank, op.bytes, root=op.root or 0,
+            return comm.reduce(rank, op.bytes, root=root or 0,
                                chunk_bytes=chunk)
         raise PlanError(f"unknown collective {op.comm!r}")
 

@@ -173,18 +173,21 @@ class _Flow:
 
 
 class _Group:
-    """One rendezvoused collective/barrier across all ranks."""
+    """One rendezvoused collective/barrier across its communicator."""
 
     __slots__ = ("kind", "nbytes", "root", "chunk", "arrived", "uids",
-                 "phase", "total_phases", "inflight")
+                 "phase", "total_phases", "inflight", "nodes")
 
-    def __init__(self, kind, nbytes, root, chunk):
+    def __init__(self, kind, nbytes, root, chunk, nodes):
         self.kind = kind
         self.nbytes = nbytes
+        #: Communicator-local root index (grouped ops translate).
         self.root = root
         self.chunk = chunk
-        self.arrived = {}       # rank -> join time
-        self.uids = {}          # rank -> op uid
+        #: Participating topology node names, in communicator order.
+        self.nodes = nodes
+        self.arrived = {}       # world rank -> join time
+        self.uids = {}          # world rank -> op uid
         self.phase = 0
         self.total_phases = 0
         self.inflight = 0
@@ -310,11 +313,18 @@ class _Engine:
     def _join_group(self, op, t: float) -> None:
         comm = self.ctx.comm
         rank = op.rank
-        if self._last_join.get(rank) == t:
+        # Grouped collectives rendezvous on their own sub-communicator:
+        # state is keyed by the group tuple (None = world), mirroring
+        # Communicator.subgroup's per-child sequence numbers.
+        gkey = getattr(op, "group", None)
+        if self._last_join.get((rank, gkey)) == t:
             raise FastPathUnsupported(
                 f"rank {rank} joins two collectives at t={t}: "
                 "rendezvous order is ambiguous")
-        self._last_join[rank] = t
+        self._last_join[(rank, gkey)] = t
+        members = list(range(self.plan.world_size)) if gkey is None \
+            else list(gkey)
+        nodes = [comm.ranks[i] for i in members]
         if isinstance(op, Barrier):
             spec = ("barrier", 0.0, None, None)
         else:
@@ -322,27 +332,30 @@ class _Engine:
             if kind is None:
                 raise FastPathUnsupported(
                     f"unknown collective kind {op.comm!r}")
-            root = (op.root or 0) if kind in ("broadcast", "reduce") \
-                else None
+            if kind in ("broadcast", "reduce"):
+                # Communicator-local root index, like the executor's
+                # subgroup translation.
+                root = members.index(op.root) if op.root is not None else 0
+            else:
+                root = None
             spec = (kind, op.bytes, root, op.chunk_bytes)
-        opid = self._op_seq.get(rank, 0)
-        self._op_seq[rank] = opid + 1
-        group = self._groups.get(opid)
+        opid = self._op_seq.get((gkey, rank), 0)
+        self._op_seq[(gkey, rank)] = opid + 1
+        group = self._groups.get((gkey, opid))
         if group is None:
-            group = self._groups[opid] = _Group(*spec)
+            group = self._groups[(gkey, opid)] = _Group(*spec, nodes)
         elif (group.kind, group.nbytes, group.root, group.chunk) != spec:
             raise FastPathUnsupported(
                 f"collective mismatch at op {opid}: rank {rank} called "
                 f"{spec} but op is {(group.kind, group.nbytes, group.root, group.chunk)}")
         group.arrived[rank] = t
         group.uids[rank] = op.uid
-        world = comm.world_size
-        if len(group.arrived) == world:
-            del self._groups[opid]
+        if len(group.arrived) == len(members):
+            del self._groups[(gkey, opid)]
             self._execute_group(group, t)
 
     def _execute_group(self, group: _Group, t: float) -> None:
-        world = self.ctx.comm.world_size
+        world = len(group.nodes)
         if world == 1 or group.kind == "barrier" or group.nbytes == 0:
             self._schedule(t, lambda now: self._group_done(group, now))
             return
@@ -353,8 +366,8 @@ class _Engine:
 
     def _spawn_phase(self, group: _Group, t: float) -> None:
         comm = self.ctx.comm
-        ranks = comm.ranks
-        n = comm.world_size
+        ranks = group.nodes
+        n = len(ranks)
         if group.kind in _RING:
             per_transfer = group.nbytes / n
             pairs = [(ranks[i], ranks[(i + 1) % n]) for i in range(n)]

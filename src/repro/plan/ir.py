@@ -150,6 +150,12 @@ class Collective(Op):
     communicator's rendezvous enforces that all ranks join matching ops
     in matching order — the static mirror of that invariant is the
     validator's rank-symmetry pass.
+
+    ``group`` restricts the collective to a subset of world ranks
+    (``None`` = world-wide): a sorted tuple of world rank indices that
+    rendezvous on their own sub-communicator.  ``root`` stays a *world*
+    rank index and must be a group member.  This is how 2D parallelism
+    expresses intra-TP-group vs. cross-DP-group communicators.
     """
 
     kind: ClassVar[str] = "collective"
@@ -160,12 +166,16 @@ class Collective(Op):
     #: (``None`` = communicator default); forwarded to the communicator,
     #: whose transport penalty amortizes with larger chunks.
     chunk_bytes: Optional[float] = None
+    #: Participating world ranks (``None`` = all ranks).
+    group: Optional[tuple] = None
 
     def _describe_extra(self) -> str:
         root = f" root={self.root}" if self.root is not None else ""
         chunk = (f" chunk={self.chunk_bytes / 1e6:.1f}MB"
                  if self.chunk_bytes is not None else "")
-        return f" {self.comm}{root}{chunk}"
+        grp = (" grp=" + ",".join(str(r) for r in self.group)
+               if self.group is not None else "")
+        return f" {self.comm}{root}{chunk}{grp}"
 
 
 @dataclass(frozen=True)
@@ -324,12 +334,23 @@ class PlanBuilder:
                    *, root: Optional[int] = None, deps=(),
                    payload: Optional[str] = None,
                    category: Category = Category.COMM,
+                   group: Optional[tuple] = None,
                    traced: bool = True) -> str:
         if comm not in COLLECTIVE_KINDS:
             raise PlanError(f"unknown collective kind {comm!r}")
+        if group is not None:
+            group = tuple(group)
+            if list(group) != sorted(set(group)):
+                raise PlanError(f"group {group} must be sorted and unique")
+            if any(not 0 <= g < self.world_size for g in group):
+                raise PlanError(f"group {group} has out-of-range ranks")
+            if rank not in group:
+                raise PlanError(f"rank {rank} not in its group {group}")
+            if root is not None and root not in group:
+                raise PlanError(f"root {root} not in group {group}")
         return self._add(Collective, rank, name, deps, comm=comm,
                          bytes=nbytes, root=root, payload=payload,
-                         category=category, traced=traced)
+                         category=category, group=group, traced=traced)
 
     def barrier(self, rank: int, name: str = "barrier", *, deps=(),
                 traced: bool = True) -> str:

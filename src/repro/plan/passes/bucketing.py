@@ -52,7 +52,8 @@ DEFAULT_CAP_BYTES = 100e6
 
 def _signature(op: Collective) -> tuple:
     """What must match for two collectives to share a bucket."""
-    return (op.comm, op.root, op.payload, op.category, op.traced)
+    return (op.comm, op.root, op.payload, op.category, op.traced,
+            op.group)
 
 
 def _ancestors(plan: StepPlan) -> dict:
@@ -67,10 +68,29 @@ def _ancestors(plan: StepPlan) -> dict:
     return anc
 
 
-def _sync_ops(plan: StepPlan, rank: int) -> list:
-    """This rank's collective/barrier ops in rendezvous-slot order."""
-    return [op for op in plan.by_rank(rank)
-            if isinstance(op, (Collective, Barrier))]
+def _sync_ops(plan: StepPlan, rank: int, key=...) -> list:
+    """This rank's collective/barrier ops in rendezvous-slot order.
+
+    With ``key`` given, only ops rendezvousing on that communicator
+    (a group tuple, or ``None`` for the world communicator shared by
+    barriers and ungrouped collectives).
+    """
+    ops = [op for op in plan.by_rank(rank)
+           if isinstance(op, (Collective, Barrier))]
+    if key is ...:
+        return ops
+    return [op for op in ops if getattr(op, "group", None) == key]
+
+
+def _comm_keys(plan: StepPlan) -> list:
+    """Every communicator key used by the plan, world first."""
+    keys: list = []
+    for op in plan:
+        if isinstance(op, (Collective, Barrier)):
+            key = getattr(op, "group", None)
+            if key not in keys:
+                keys.append(key)
+    return sorted(keys, key=lambda k: (k is not None, k or ()))
 
 
 class GradientBucketing(PlanPass):
@@ -137,28 +157,35 @@ class GradientBucketing(PlanPass):
     # -- rewrite -----------------------------------------------------------
     def run(self, plan: StepPlan, ctx: PassContext) -> StepPlan:
         anc = _ancestors(plan)
-        slots = [_sync_ops(plan, rank)
-                 for rank in range(plan.world_size)]
-        groups = self._slot_groups(slots, anc)
         mapping: dict = {}      # removed uid -> fused (head) uid
         fused: dict = {}        # head uid -> fused op
-        for rank_slots in slots:
-            for group in groups:
-                members = [rank_slots[s] for s in group]
-                head = members[0]
-                uids = {m.uid for m in members}
-                deps: list = []
-                for member in members:
-                    for dep in member.deps:
-                        if dep not in deps and dep not in uids:
-                            deps.append(dep)
-                fused[head.uid] = replace(
-                    head,
-                    bytes=sum(m.bytes for m in members),
-                    deps=tuple(deps),
-                    fused=sum(max(1, m.fused) for m in members))
-                for member in members[1:]:
-                    mapping[member.uid] = head.uid
+        # Grouping is per communicator: each group tuple (and the world
+        # communicator) has its own rendezvous slot sequence, identical
+        # across exactly its members.
+        for key in _comm_keys(plan):
+            members_ranks = range(plan.world_size) if key is None \
+                else key
+            slots = [_sync_ops(plan, rank, key) for rank in members_ranks]
+            if not slots or not slots[0]:
+                continue
+            groups = self._slot_groups(slots, anc)
+            for rank_slots in slots:
+                for group in groups:
+                    members = [rank_slots[s] for s in group]
+                    head = members[0]
+                    uids = {m.uid for m in members}
+                    deps: list = []
+                    for member in members:
+                        for dep in member.deps:
+                            if dep not in deps and dep not in uids:
+                                deps.append(dep)
+                    fused[head.uid] = replace(
+                        head,
+                        bytes=sum(m.bytes for m in members),
+                        deps=tuple(deps),
+                        fused=sum(max(1, m.fused) for m in members))
+                    for member in members[1:]:
+                        mapping[member.uid] = head.uid
         if not fused:
             return plan
         ops = [fused.get(op.uid, op) for op in plan.ops

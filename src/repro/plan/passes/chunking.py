@@ -61,13 +61,22 @@ class CollectiveChunkSizing(PlanPass):
         """Min measured bandwidth over the links this op's schedule uses
         (0.0 when the context has nothing to measure)."""
         topo, nodes = ctx.topology, list(ctx.rank_nodes)
-        if topo is None or len(nodes) < 2:
+        if topo is None:
+            return 0.0
+        if op.group is not None:
+            # Grouped collectives ring/star over the group's nodes only.
+            nodes = [nodes[i] for i in op.group if i < len(nodes)]
+            root_idx = op.group.index(op.root) if op.root is not None \
+                else 0
+        else:
+            root_idx = op.root or 0
+        if len(nodes) < 2:
             return 0.0
         if op.comm in _RING_KINDS:
             pairs = [(nodes[i], nodes[(i + 1) % len(nodes)])
                      for i in range(len(nodes))]
         else:
-            root = nodes[op.root or 0]
+            root = nodes[root_idx]
             pairs = [(root, n) for n in nodes if n != root]
         bw = []
         for src, dst in pairs:
@@ -85,20 +94,27 @@ class CollectiveChunkSizing(PlanPass):
 
     # -- rewrite -----------------------------------------------------------
     def run(self, plan: StepPlan, ctx: PassContext) -> StepPlan:
-        sync = [[op for op in plan.by_rank(rank)
-                 if isinstance(op, (Collective, Barrier))]
-                for rank in range(plan.world_size)]
-        chunks: dict = {}       # slot index -> chunk bytes
-        for slot, op in enumerate(sync[0]):
-            if isinstance(op, Collective) and op.bytes > 0 \
-                    and op.chunk_bytes is None:
-                chunks[slot] = self._chunk_for(ctx, op)
-        if not chunks:
-            return plan
+        from .bucketing import _comm_keys, _sync_ops
+
         sized: dict = {}        # uid -> annotated op
-        for rank_slots in sync:
-            for slot, chunk in chunks.items():
-                op = rank_slots[slot]
-                sized[op.uid] = replace(op, chunk_bytes=chunk)
+        # Slots are per communicator (group tuple or world): each
+        # communicator's members share an identical slot sequence, and
+        # the chunk computed from its first member applies to all.
+        for key in _comm_keys(plan):
+            member_ranks = range(plan.world_size) if key is None else key
+            sync = [_sync_ops(plan, rank, key) for rank in member_ranks]
+            if not sync or not sync[0]:
+                continue
+            chunks: dict = {}   # slot index -> chunk bytes
+            for slot, op in enumerate(sync[0]):
+                if isinstance(op, Collective) and op.bytes > 0 \
+                        and op.chunk_bytes is None:
+                    chunks[slot] = self._chunk_for(ctx, op)
+            for rank_slots in sync:
+                for slot, chunk in chunks.items():
+                    op = rank_slots[slot]
+                    sized[op.uid] = replace(op, chunk_bytes=chunk)
+        if not sized:
+            return plan
         ops = [sized.get(op.uid, op) for op in plan.ops]
         return StepPlan(plan.name, plan.world_size, ops, plan.meta)

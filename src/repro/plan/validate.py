@@ -124,6 +124,21 @@ def _check_structure(plan: StepPlan) -> list:
             if op.chunk_bytes is not None and op.chunk_bytes <= 0:
                 problems.append(
                     f"{op.uid}: non-positive chunk_bytes {op.chunk_bytes}")
+            if op.group is not None:
+                group = op.group
+                if list(group) != sorted(set(group)):
+                    problems.append(
+                        f"{op.uid}: group {group} not sorted/unique")
+                elif any(not 0 <= g < plan.world_size for g in group):
+                    problems.append(
+                        f"{op.uid}: group {group} has out-of-range ranks")
+                elif op.rank not in group:
+                    problems.append(
+                        f"{op.uid}: rank {op.rank} outside its group "
+                        f"{group}")
+                elif op.root is not None and op.root not in group:
+                    problems.append(
+                        f"{op.uid}: root {op.root} outside group {group}")
     return problems
 
 
@@ -144,27 +159,73 @@ def _sync_signature(op: Op):
     return None
 
 
-def _check_rank_symmetry(plan: StepPlan) -> list:
-    """All ranks must issue identical ordered collective/barrier runs."""
-    sequences = []
+def _comm_key(op: Op):
+    """Which communicator an op rendezvouses on (``None`` = world)."""
+    if isinstance(op, Collective):
+        return op.group
+    return None  # barriers synchronize the world communicator
+
+
+def sync_sequences(plan: StepPlan) -> dict:
+    """``{communicator key: {rank: [signatures]}}`` in program order.
+
+    The communicator key is a group tuple (``None`` = the world
+    communicator, which barriers and ungrouped collectives share).
+    Every member of a communicator gets an entry, even with zero ops.
+    """
+    out: dict = {}
     for rank in range(plan.world_size):
-        sequences.append([
-            sig for sig in map(_sync_signature, plan.by_rank(rank))
-            if sig is not None])
-    reference = sequences[0]
+        for op in plan.by_rank(rank):
+            sig = _sync_signature(op)
+            if sig is None:
+                continue
+            key = _comm_key(op)
+            out.setdefault(key, {}).setdefault(rank, []).append(sig)
+    for key, by_rank in out.items():
+        members = range(plan.world_size) if key is None else key
+        for rank in members:
+            by_rank.setdefault(rank, [])
+    return out
+
+
+def _check_rank_symmetry(plan: StepPlan) -> list:
+    """Each communicator's members must issue identical ordered runs.
+
+    World-wide ops (barriers, ungrouped collectives) must match across
+    every rank; grouped collectives must match across exactly their
+    group's members — the static mirror of per-sub-communicator
+    rendezvous sequence numbers.
+    """
     problems = []
-    for rank, seq in enumerate(sequences[1:], start=1):
-        if len(seq) != len(reference):
-            problems.append(
-                f"rank-symmetry: rank {rank} issues {len(seq)} "
-                f"collective/barrier ops, rank 0 issues {len(reference)}")
+    for key, by_rank in sorted(sync_sequences(plan).items(),
+                               key=lambda kv: (kv[0] is not None, kv[0])):
+        members = list(range(plan.world_size)) if key is None \
+            else [g for g in key if 0 <= g < plan.world_size]
+        if not members:
             continue
-        for slot, (a, b) in enumerate(zip(reference, seq)):
-            if a != b:
+        label = "world" if key is None else f"group {key}"
+        strays = sorted(set(by_rank) - set(members))
+        for rank in strays:
+            if by_rank[rank]:
                 problems.append(
-                    f"rank-symmetry: slot {slot} diverges — "
-                    f"rank 0 {a!r} vs rank {rank} {b!r}")
-                break
+                    f"rank-symmetry: rank {rank} issues ops on {label} "
+                    "without being a member")
+        lead = members[0]
+        reference = by_rank.get(lead, [])
+        for rank in members[1:]:
+            seq = by_rank.get(rank, [])
+            if len(seq) != len(reference):
+                problems.append(
+                    f"rank-symmetry[{label}]: rank {rank} issues "
+                    f"{len(seq)} collective/barrier ops, rank {lead} "
+                    f"issues {len(reference)}")
+                continue
+            for slot, (a, b) in enumerate(zip(reference, seq)):
+                if a != b:
+                    problems.append(
+                        f"rank-symmetry[{label}]: slot {slot} diverges — "
+                        f"rank {lead} {a!r} vs rank {rank} {b!r}")
+                    break
     return problems
 
 

@@ -169,7 +169,7 @@ class _BaseGroup:
     rank, with its measured live point (last arrival) and completion."""
 
     __slots__ = ("uids", "arrivals", "live", "end", "kind", "nbytes",
-                 "root", "chunk", "barrier")
+                 "root", "chunk", "barrier", "group")
 
     def __init__(self, members, times):
         self.uids = {op.rank: op.uid for op in members}
@@ -178,6 +178,7 @@ class _BaseGroup:
         self.end = max(times[op.uid][1] for op in members)
         rep = members[0]
         self.barrier = isinstance(rep, Barrier)
+        self.group = getattr(rep, "group", None)
         if self.barrier:
             self.kind = "barrier"
             self.nbytes, self.root, self.chunk = 0.0, None, None
@@ -200,26 +201,36 @@ class _BaseGroup:
 def _rendezvous_groups(plan: StepPlan, times: dict):
     """Pair up every rank's k-th rendezvous, mirroring the communicator.
 
-    The runtime assigns group membership by per-rank *arrival order*;
-    measured starts are arrivals, so sorting each rank's collective/
-    barrier ops by (start, program order) reproduces the grouping.
-    Returns ``(groups, by_uid)``.
+    The runtime assigns group membership by per-rank *arrival order* on
+    each communicator (grouped collectives rendezvous on their own
+    sub-communicator, keyed by the op's group tuple; barriers and
+    ungrouped collectives share the world communicator); measured starts
+    are arrivals, so sorting each rank's joins by (start, program order)
+    per communicator reproduces the grouping.  Returns
+    ``(groups, by_uid)``.
     """
-    per_rank: list = []
+    per_comm: dict = {}     # comm key -> {rank: [ops in join order]}
     for rank in range(plan.world_size):
         joins = [(times[op.uid][0], idx, op)
                  for idx, op in enumerate(plan.by_rank(rank))
                  if isinstance(op, (Collective, Barrier))
                  and op.uid in times]
         joins.sort(key=lambda item: (item[0], item[1]))
-        per_rank.append([op for _s, _i, op in joins])
-    counts = {len(joins) for joins in per_rank}
-    if len(counts) > 1:
-        raise PlanError(
-            f"plan {plan.name!r} is rank-asymmetric: per-rank rendezvous "
-            f"counts {sorted(counts)}")
-    groups = [_BaseGroup([joins[k] for joins in per_rank], times)
-              for k in range(counts.pop() if counts else 0)]
+        for _s, _i, op in joins:
+            key = getattr(op, "group", None)
+            per_comm.setdefault(key, {}).setdefault(rank, []).append(op)
+    groups: list = []
+    for key, by_rank in per_comm.items():
+        members = range(plan.world_size) if key is None else key
+        per_rank = [by_rank.get(rank, []) for rank in members]
+        counts = {len(joins) for joins in per_rank}
+        if len(counts) > 1:
+            label = "world" if key is None else f"group {key}"
+            raise PlanError(
+                f"plan {plan.name!r} is rank-asymmetric on {label}: "
+                f"per-rank rendezvous counts {sorted(counts)}")
+        groups += [_BaseGroup([joins[k] for joins in per_rank], times)
+                   for k in range(counts.pop() if counts else 0)]
     by_uid = {uid: g for g in groups for uid in g.uids.values()}
     return groups, by_uid
 
@@ -797,20 +808,27 @@ def predict_scaled_timing(plan: StepPlan, base: PlanTiming,
     def group_duration(members: frozenset, rep) -> float:
         group = group_by_members.get(members)
         measured = group.duration if group is not None else 0.0
+        gkey = getattr(rep, "group", None)
+        member_idx = list(range(world)) if gkey is None else list(gkey)
+        n = len(member_idx)
         if isinstance(rep, Barrier) or bucket != "comm" \
-                or not _scalable(rep, "comm") or world < 2:
+                or not _scalable(rep, "comm") or n < 2:
             return measured
         if factor == 0.0:
             return 0.0  # the engines short-circuit zero-byte groups
         kind = _COMM_KIND.get(rep.comm, rep.comm)
-        phases = _RING[kind](world) if kind in _RING else 1
-        ranks = ctx.comm.ranks
+        phases = _RING[kind](n) if kind in _RING else 1
+        all_ranks = ctx.comm.ranks if ctx.comm is not None else None
+        if all_ranks is None:
+            return measured
+        ranks = [all_ranks[i] for i in member_idx]
         if kind in _RING:
-            pairs = [(ranks[i], ranks[(i + 1) % world])
-                     for i in range(world)]
+            pairs = [(ranks[i], ranks[(i + 1) % n])
+                     for i in range(n)]
         else:
-            root = rep.root or 0
-            others = [i for i in range(world) if i != root]
+            root = member_idx.index(rep.root) if rep.root is not None \
+                else 0
+            others = [i for i in range(n) if i != root]
             pairs = [(ranks[root], ranks[i]) for i in others] \
                 if kind == "broadcast" \
                 else [(ranks[i], ranks[root]) for i in others]
@@ -861,12 +879,14 @@ def predict_scaled_timing(plan: StepPlan, base: PlanTiming,
             stream_free[op.rank] = end
             finish(op, t, end)
         elif isinstance(op, (Collective, Barrier)):
-            opid = join_seq.get(op.rank, 0)
-            join_seq[op.rank] = opid + 1
-            group = open_groups.setdefault(opid, {})
+            gkey = getattr(op, "group", None)
+            expected = plan.world_size if gkey is None else len(gkey)
+            opid = join_seq.get((gkey, op.rank), 0)
+            join_seq[(gkey, op.rank)] = opid + 1
+            group = open_groups.setdefault((gkey, opid), {})
             group[op.rank] = (op, t)
-            if len(group) == plan.world_size:
-                del open_groups[opid]
+            if len(group) == expected:
+                del open_groups[(gkey, opid)]
                 live = max(arr for _op, arr in group.values())
                 members = frozenset(m.uid for m, _t in group.values())
                 end = live + group_duration(members, op)

@@ -16,13 +16,17 @@ from .loop import (
     plan_compile_stats,
 )
 from .parallel import (
+    STRATEGY_REGISTRY,
     CompileContext,
     DataParallel,
     DistributedDataParallel,
+    FullyShardedDataParallel,
     ParallelStrategy,
     PipelineParallel,
     ShardedDataParallel,
     StepCosts,
+    TensorParallel,
+    TwoDParallel,
     activation_factor,
 )
 from .precision import AMP_POLICY, FP32_POLICY, PrecisionPolicy
@@ -43,6 +47,10 @@ __all__ = [
     "DistributedDataParallel",
     "ShardedDataParallel",
     "PipelineParallel",
+    "TensorParallel",
+    "TwoDParallel",
+    "FullyShardedDataParallel",
+    "STRATEGY_REGISTRY",
     "CompileContext",
     "StepCosts",
     "activation_factor",

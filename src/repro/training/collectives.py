@@ -135,12 +135,41 @@ class Communicator:
         self._pending: dict[int, _PendingOp] = {}
         self._executing: set[_PendingOp] = set()
         self._closed = False
+        self._subgroups: dict[tuple, "Communicator"] = {}
         #: Completed collective count (introspection).
         self.completed_ops = 0
 
     @property
     def world_size(self) -> int:
         return len(self.ranks)
+
+    def subgroup(self, ranks_idx) -> "Communicator":
+        """A child communicator over a subset of this one's ranks.
+
+        ``ranks_idx`` are *parent* rank indices (sorted, unique).  The
+        child shares the environment, topology, transport penalties,
+        watchdog, and tracer, keeps its own rendezvous sequence (like an
+        NCCL sub-communicator from ``ncclCommSplit``), and is cached so
+        every plan op targeting the same group rendezvouses on the same
+        child.  Aborting the parent aborts all children.
+        """
+        key = tuple(ranks_idx)
+        if list(key) != sorted(set(key)):
+            raise CollectiveError(f"subgroup {key} must be sorted, unique")
+        if any(not 0 <= i < self.world_size for i in key):
+            raise CollectiveError(f"subgroup {key} has out-of-range ranks")
+        child = self._subgroups.get(key)
+        if child is None:
+            child = Communicator(
+                self.env, self.topology,
+                [self.ranks[i] for i in key],
+                gpus=([self.gpus[i] for i in key]
+                      if self.gpus is not None else None),
+                transport_penalty=self.transport_penalty,
+                watchdog=self.watchdog, tracer=self.tracer)
+            child._closed = self._closed
+            self._subgroups[key] = child
+        return child
 
     # -- public collectives ------------------------------------------------
     def allreduce(self, rank: int, nbytes: float, *,
@@ -319,6 +348,8 @@ class Communicator:
         for op in list(self._executing):
             if not op.done.triggered:
                 op.done.succeed(None)
+        for child in self._subgroups.values():
+            child.abort()
 
     @property
     def closed(self) -> bool:

@@ -47,6 +47,10 @@ __all__ = [
     "DistributedDataParallel",
     "ShardedDataParallel",
     "PipelineParallel",
+    "TensorParallel",
+    "TwoDParallel",
+    "FullyShardedDataParallel",
+    "STRATEGY_REGISTRY",
     "FRAMEWORK_OVERHEAD_BYTES",
     "activation_factor",
 ]
@@ -518,3 +522,358 @@ class PipelineParallel(ParallelStrategy):
             flush = b.barrier(rank, "pipeline-flush", deps=[opt])
             self._overhead_op(b, rank, costs, deps=[flush])
         return b.build()
+
+
+def _boundary_activation_bytes(costs: StepCosts, samples: float) -> float:
+    """Activation bytes of one layer's output for ``samples`` samples —
+    the tensor a TP all-gather assembles (and the input broadcast
+    moves): per-sample activations spread over the model's depth."""
+    model = costs.model
+    per_layer = model.activation_bytes_per_sample(
+        costs.policy.compute) / max(1, model.depth)
+    return per_layer * samples
+
+
+class TensorParallel(ParallelStrategy):
+    """Megatron-style tensor parallelism as a pure plan compiler.
+
+    Every rank holds ``1/N`` of each layer's parameters and runs the
+    *full* batch through its shard.  The model's layers are grouped into
+    ``layer_groups`` column/row-parallel blocks; after each block's
+    forward the sharded outputs are assembled with an **all-gather**
+    (column-parallel ``g`` operator), and each block's backward ends in
+    an **all-reduce** of the input gradients (row-parallel ``f``
+    operator) — the two conjugate collectives of Megatron-LM §3.  Rank 0
+    ingests the batch and an in-plan broadcast fans the input out.
+
+    Weight gradients are rank-local (each rank owns its shard outright),
+    so TP moves *zero* gradient bytes — its communication bill is
+    per-layer activation traffic, which scales with batch rather than
+    parameter count.  Memory: weights/grads/optimizer state divide by
+    the world size, while layer outputs stay replicated (only autograd's
+    saved intermediates shard with the weights).
+    """
+
+    name = "tp"
+    sharded = True
+
+    def __init__(self, layer_groups: int = 4):
+        if layer_groups < 1:
+            raise ValueError("layer_groups must be >= 1")
+        self.layer_groups = layer_groups
+
+    # -- batch placement ---------------------------------------------------
+    def rank_batch(self, global_batch: int, world_size: int) -> int:
+        """Every rank sees the whole batch (the weights are what shard)."""
+        return global_batch
+
+    def input_ranks(self, world_size: int) -> tuple:
+        """Rank 0 ingests; the in-plan broadcast distributes."""
+        return (0,)
+
+    # -- memory model ------------------------------------------------------
+    def memory_per_gpu(self, model: ModelGraph, policy: PrecisionPolicy,
+                       batch_per_gpu: int, world_size: int) -> float:
+        weights = model.weight_bytes(policy.compute) / world_size
+        grads = model.gradient_bytes(policy.compute) / world_size
+        if policy.compute is Precision.FP16 and policy.master_weights:
+            opt = model.params * 12.0 / world_size
+        else:
+            opt = model.params * 8.0 / world_size
+        # Layer outputs are assembled on every rank (replicated); the
+        # autograd extras beyond them shard with the weights.
+        factor = 1.0 + (activation_factor(model) - 1.0) / world_size
+        activations = (model.activation_bytes_per_sample(policy.compute)
+                       * batch_per_gpu * factor)
+        return (FRAMEWORK_OVERHEAD_BYTES + weights + grads + opt
+                + activations)
+
+    # -- step compiler -----------------------------------------------------
+    def compile_step(self, ctx: CompileContext) -> StepPlan:
+        costs = ctx.costs
+        world = ctx.world_size
+        groups = self.layer_groups
+        boundary = _boundary_activation_bytes(costs, costs.batch_per_gpu)
+        b = PlanBuilder(f"{self.name}-step", world,
+                        meta={"strategy": self.name,
+                              "layer_groups": groups})
+        b.declare_conservation(
+            "input", ctx.accumulation * world * boundary)
+        b.declare_conservation(
+            "activations",
+            ctx.accumulation * world * groups * 2.0 * boundary)
+        for rank in range(world):
+            prev = None
+            for _ in range(ctx.accumulation):
+                # Rank 0 holds the micro-batch; everyone receives it.
+                prev = b.collective(
+                    rank, "input-bcast", "broadcast", boundary, root=0,
+                    deps=[prev] if prev else (), payload="input")
+                for g in range(groups):
+                    fwd = self._compute_op(
+                        b, rank, f"forward-g{g}", costs,
+                        costs.forward_flops / (groups * world),
+                        costs.forward_hbm_bytes / (groups * world),
+                        deps=[prev])
+                    # Column-parallel output assembly.
+                    prev = b.collective(rank, "act-gather", "all_gather",
+                                        boundary, deps=[fwd],
+                                        payload="activations")
+                for g in reversed(range(groups)):
+                    bwd = self._compute_op(
+                        b, rank, f"backward-g{g}", costs,
+                        costs.backward_flops / (groups * world),
+                        costs.backward_hbm_bytes / (groups * world),
+                        deps=[prev])
+                    # Row-parallel input-gradient reduction.
+                    prev = b.collective(rank, "grad-input-reduce",
+                                        "allreduce", boundary,
+                                        deps=[bwd],
+                                        payload="activations")
+            # Weight gradients are shard-local: no gradient collective.
+            opt = self._optimizer_op(b, rank, costs, deps=[prev],
+                                     shard=1.0 / world)
+            self._overhead_op(b, rank, costs, deps=[opt])
+        return b.build()
+
+
+class TwoDParallel(ParallelStrategy):
+    """Tensor x data hybrid over a ``tp_degree x dp`` rank grid.
+
+    World ranks map to a grid: rank ``r`` has tensor coordinate
+    ``r % tp_degree`` and data coordinate ``r // tp_degree``.  TP groups
+    are *contiguous* rank blocks — on the local chassis those are
+    NVLink-adjacent GPUs, so the per-layer activation collectives stay
+    on the fast mesh while the lower-volume cross-DP gradient
+    all-reduce (1/tp of the gradients per rank) strides across the
+    chassis/fleet fabric.  Both flavours are emitted as *grouped*
+    plan-IR collectives, each rendezvousing on its own
+    sub-communicator.
+    """
+
+    name = "2d"
+    sharded = True
+
+    def __init__(self, tp_degree: int = 2, layer_groups: int = 4):
+        if tp_degree < 1:
+            raise ValueError("tp_degree must be >= 1")
+        if layer_groups < 1:
+            raise ValueError("layer_groups must be >= 1")
+        self.tp_degree = tp_degree
+        self.layer_groups = layer_groups
+
+    # -- the rank grid -----------------------------------------------------
+    def _dp_degree(self, world_size: int) -> int:
+        if world_size % self.tp_degree != 0:
+            raise ValueError(
+                f"world size {world_size} not divisible by tp_degree "
+                f"{self.tp_degree}")
+        return world_size // self.tp_degree
+
+    def tp_group(self, rank: int, world_size: int) -> tuple:
+        """The contiguous TP block this rank belongs to."""
+        self._dp_degree(world_size)
+        d = rank // self.tp_degree
+        return tuple(range(d * self.tp_degree, (d + 1) * self.tp_degree))
+
+    def dp_group(self, rank: int, world_size: int) -> tuple:
+        """The strided cross-replica group this rank belongs to."""
+        dp = self._dp_degree(world_size)
+        t = rank % self.tp_degree
+        return tuple(t + d * self.tp_degree for d in range(dp))
+
+    # -- batch placement ---------------------------------------------------
+    def rank_batch(self, global_batch: int, world_size: int) -> int:
+        """Each DP replica (one TP group) takes its slice of the batch."""
+        dp = self._dp_degree(world_size)
+        if global_batch % dp != 0:
+            raise ValueError(
+                f"global batch {global_batch} not divisible by "
+                f"dp degree {dp}")
+        return global_batch // dp
+
+    def input_ranks(self, world_size: int) -> tuple:
+        """Each TP group's leader ingests its replica's batch slice."""
+        dp = self._dp_degree(world_size)
+        return tuple(d * self.tp_degree for d in range(dp))
+
+    # -- memory model ------------------------------------------------------
+    def memory_per_gpu(self, model: ModelGraph, policy: PrecisionPolicy,
+                       batch_per_gpu: int, world_size: int) -> float:
+        tp = self.tp_degree
+        weights = model.weight_bytes(policy.compute) / tp
+        grads = model.gradient_bytes(policy.compute) / tp
+        if policy.compute is Precision.FP16 and policy.master_weights:
+            opt = model.params * 12.0 / tp
+        else:
+            opt = model.params * 8.0 / tp
+        factor = 1.0 + (activation_factor(model) - 1.0) / tp
+        activations = (model.activation_bytes_per_sample(policy.compute)
+                       * batch_per_gpu * factor)
+        return (FRAMEWORK_OVERHEAD_BYTES + weights + grads + opt
+                + activations)
+
+    # -- step compiler -----------------------------------------------------
+    def compile_step(self, ctx: CompileContext) -> StepPlan:
+        costs = ctx.costs
+        world = ctx.world_size
+        tp = self.tp_degree
+        dp = self._dp_degree(world)
+        groups = self.layer_groups
+        boundary = _boundary_activation_bytes(costs, costs.batch_per_gpu)
+        grad_shard = costs.gradient_bytes / tp
+        b = PlanBuilder(f"{self.name}-step", world,
+                        meta={"strategy": self.name, "tp_degree": tp,
+                              "dp_degree": dp, "layer_groups": groups})
+        b.declare_conservation(
+            "input", ctx.accumulation * world * boundary)
+        b.declare_conservation(
+            "activations",
+            ctx.accumulation * world * groups * 2.0 * boundary)
+        b.declare_conservation("gradients", world * grad_shard)
+        for rank in range(world):
+            tgroup = self.tp_group(rank, world)
+            dgroup = self.dp_group(rank, world)
+            leader = tgroup[0]
+            prev = None
+            for _ in range(ctx.accumulation):
+                prev = b.collective(
+                    rank, "input-bcast", "broadcast", boundary,
+                    root=leader, group=tgroup,
+                    deps=[prev] if prev else (), payload="input")
+                for g in range(groups):
+                    fwd = self._compute_op(
+                        b, rank, f"forward-g{g}", costs,
+                        costs.forward_flops / (groups * tp),
+                        costs.forward_hbm_bytes / (groups * tp),
+                        deps=[prev])
+                    prev = b.collective(rank, "act-gather", "all_gather",
+                                        boundary, group=tgroup,
+                                        deps=[fwd],
+                                        payload="activations")
+                for g in reversed(range(groups)):
+                    bwd = self._compute_op(
+                        b, rank, f"backward-g{g}", costs,
+                        costs.backward_flops / (groups * tp),
+                        costs.backward_hbm_bytes / (groups * tp),
+                        deps=[prev])
+                    prev = b.collective(rank, "grad-input-reduce",
+                                        "allreduce", boundary,
+                                        group=tgroup, deps=[bwd],
+                                        payload="activations")
+            # Each rank owns 1/tp of the gradients; average that shard
+            # across its DP group (chained after the last TP collective
+            # so the comm stream order is deterministic).
+            prev = b.collective(rank, "grad-allreduce", "allreduce",
+                                grad_shard, group=dgroup, deps=[prev],
+                                payload="gradients")
+            opt = self._optimizer_op(b, rank, costs, deps=[prev],
+                                     shard=1.0 / tp)
+            self._overhead_op(b, rank, costs, deps=[opt])
+        return b.build()
+
+
+class FullyShardedDataParallel(ParallelStrategy):
+    """ZeRO-3-style FSDP: parameters live sharded, gathered per unit.
+
+    The model is split into ``layer_groups`` FSDP *units*.  Parameters,
+    gradients, and optimizer state are all sharded ``1/N`` (ZeRO stage
+    3); before a unit's forward — and again before its backward, since
+    the gathered parameters are freed immediately after use — the full
+    unit is re-materialized with an **all-gather**, and each unit's
+    backward ends in a **reduce-scatter** that leaves every rank with
+    its gradient shard.  The optimizer then updates only the local
+    shard; next step's gathers pick up the new parameters, so no
+    post-step broadcast is needed.
+
+    Fig. 14-style memory math: per-rank state collapses to
+    ``(weights + grads + optimizer) / N`` plus one transiently gathered
+    unit (forward's current plus prefetched next), which is what lets
+    FSDP run per-GPU batches DDP cannot fit.
+    """
+
+    name = "fsdp"
+    sharded = True
+
+    def __init__(self, layer_groups: int = 4):
+        if layer_groups < 1:
+            raise ValueError("layer_groups must be >= 1")
+        self.layer_groups = layer_groups
+
+    # -- memory model ------------------------------------------------------
+    def memory_per_gpu(self, model: ModelGraph, policy: PrecisionPolicy,
+                       batch_per_gpu: int, world_size: int) -> float:
+        weights = model.weight_bytes(policy.compute) / world_size
+        grads = model.gradient_bytes(policy.compute) / world_size
+        if policy.compute is Precision.FP16 and policy.master_weights:
+            opt = model.params * 12.0 / world_size
+        else:
+            opt = model.params * 8.0 / world_size
+        # Two transiently gathered units: in-use + prefetch.
+        transient = 2.0 * model.weight_bytes(policy.compute) \
+            / max(1, self.layer_groups)
+        activations = (model.activation_bytes_per_sample(policy.compute)
+                       * batch_per_gpu * activation_factor(model))
+        return (FRAMEWORK_OVERHEAD_BYTES + weights + grads + opt
+                + transient + activations)
+
+    # -- step compiler -----------------------------------------------------
+    def compile_step(self, ctx: CompileContext) -> StepPlan:
+        costs = ctx.costs
+        world = ctx.world_size
+        groups = self.layer_groups
+        unit_weights = costs.weight_bytes / groups
+        unit_grads = costs.gradient_bytes / groups
+        b = PlanBuilder(f"{self.name}-step", world,
+                        meta={"strategy": self.name,
+                              "layer_groups": groups})
+        # Forward + backward each re-gather every unit, every micro-step.
+        b.declare_conservation(
+            "weights",
+            ctx.accumulation * world * 2.0 * costs.weight_bytes)
+        b.declare_conservation(
+            "gradients", world * costs.gradient_bytes)
+        for rank in range(world):
+            prev = None
+            for micro in range(ctx.accumulation):
+                last = micro == ctx.accumulation - 1
+                for g in range(groups):
+                    gather = b.collective(
+                        rank, f"param-gather-g{g}", "all_gather",
+                        unit_weights, deps=[prev] if prev else (),
+                        payload="weights")
+                    prev = self._compute_op(
+                        b, rank, f"forward-g{g}", costs,
+                        costs.forward_flops / groups,
+                        costs.forward_hbm_bytes / groups, deps=[gather])
+                for g in reversed(range(groups)):
+                    # Gathered params were freed after forward (ZeRO-3):
+                    # re-gather for the backward.
+                    gather = b.collective(
+                        rank, f"param-regather-g{g}", "all_gather",
+                        unit_weights, deps=[prev], payload="weights")
+                    prev = self._compute_op(
+                        b, rank, f"backward-g{g}", costs,
+                        costs.backward_flops / groups,
+                        costs.backward_hbm_bytes / groups, deps=[gather])
+                    if last:
+                        # Sync micro-step: shard the unit's gradients.
+                        prev = b.collective(
+                            rank, f"grad-scatter-g{g}", "reduce_scatter",
+                            unit_grads, deps=[prev], payload="gradients")
+            opt = self._optimizer_op(b, rank, costs, deps=[prev],
+                                     shard=1.0 / world)
+            self._overhead_op(b, rank, costs, deps=[opt])
+        return b.build()
+
+
+#: CLI/harness strategy names -> strategy classes (the full zoo).
+STRATEGY_REGISTRY = {
+    "dp": DataParallel,
+    "ddp": DistributedDataParallel,
+    "sharded": ShardedDataParallel,
+    "pipeline": PipelineParallel,
+    "tp": TensorParallel,
+    "2d": TwoDParallel,
+    "fsdp": FullyShardedDataParallel,
+}

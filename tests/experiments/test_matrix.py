@@ -1,0 +1,105 @@
+"""The strategy x model crossover matrix: fitting, frontier, formatting."""
+
+import pytest
+
+from repro.cli import build_parser
+from repro.devices.gpu import Precision
+from repro.experiments.matrix import (
+    MATRIX_CONFIGURATIONS,
+    MATRIX_MODELS,
+    SMOKE_MODELS,
+    MatrixCell,
+    _fit_operating_point,
+    crossover_frontier,
+    format_matrix,
+    plan_comm_bytes,
+    run_matrix,
+)
+from repro.plan import PlanBuilder
+
+
+def test_smoke_models_are_a_subset_of_the_full_suite():
+    assert set(SMOKE_MODELS) <= set(MATRIX_MODELS)
+    assert set(MATRIX_CONFIGURATIONS) == {"localGPUs", "falconGPUs"}
+
+
+def test_plan_comm_bytes_counts_collectives_and_p2p():
+    b = PlanBuilder("p", world_size=2)
+    for rank in range(2):
+        f = b.compute(rank, "fwd", flops=1e9, hbm_bytes=0.0,
+                      precision=Precision.FP16, efficiency=0.5)
+        b.collective(rank, "ar", "allreduce", 3e6, deps=[f])
+    b.h2d(0, "in", 5e6)   # host copies are not fabric collectives
+    assert plan_comm_bytes(b.build()) == pytest.approx(6e6)
+
+
+def test_fit_operating_point_respects_memory_and_divisibility():
+    # TP replicates the global batch on every rank: bert-large at its
+    # native batch only fits once accumulation shrinks the micro-batch.
+    job, gb, acc, reason = _fit_operating_point(
+        "bert-large", "localGPUs", "tp", sim_steps=2, plan_passes=None)
+    assert job is not None and reason is None
+    assert gb == 48 and acc > 1
+    # DDP fits the native batch outright.
+    _job, gb, acc, _reason = _fit_operating_point(
+        "bert-large", "localGPUs", "ddp", sim_steps=2, plan_passes=None)
+    assert (gb, acc) == (48, 1)
+
+
+def _cell(cfg, model, strategy, tps):
+    return MatrixCell(configuration=cfg, benchmark=model,
+                      strategy=strategy, fitted=True,
+                      time_per_sample=tps)
+
+
+def test_crossover_frontier_flags_flipped_winners():
+    cells = [
+        _cell("localGPUs", "m1", "ddp", 1.0),
+        _cell("localGPUs", "m1", "pipeline", 2.0),
+        _cell("falconGPUs", "m1", "ddp", 3.0),
+        _cell("falconGPUs", "m1", "pipeline", 2.5),
+        _cell("localGPUs", "m2", "ddp", 1.0),
+        _cell("falconGPUs", "m2", "ddp", 1.5),
+        MatrixCell(configuration="falconGPUs", benchmark="m2",
+                   strategy="tp", fitted=False),
+    ]
+    winners, crossover = crossover_frontier(
+        cells, ("localGPUs", "falconGPUs"))
+    assert winners["localGPUs"] == {"m1": "ddp", "m2": "ddp"}
+    assert winners["falconGPUs"] == {"m1": "pipeline", "m2": "ddp"}
+    assert crossover == ["m1"]
+
+
+def test_run_matrix_tiny_slice_end_to_end():
+    report = run_matrix(models=("bert-large",),
+                        strategies=("ddp", "pipeline"), sim_steps=2)
+    assert len(report.cells) == 4   # 2 configs x 1 model x 2 strategies
+    for cell in report.cells:
+        assert cell.fitted
+        assert cell.step_time > 0
+        assert cell.time_per_sample > 0
+        assert cell.comm_bytes_per_step > 0
+        assert cell.label in ("compute-bound", "comm-bound",
+                              "copy-bound", "storage-bound",
+                              "framework-bound")
+    assert set(report.frontier) == {"localGPUs", "falconGPUs"}
+    text = format_matrix(report)
+    assert "crossover frontier" in text
+    assert "bert-large" in text
+
+
+def test_run_matrix_rejects_unknown_strategy():
+    with pytest.raises(ValueError, match="unknown strategies"):
+        run_matrix(models=("bert-large",), strategies=("warp",),
+                   sim_steps=2)
+
+
+def test_cli_parses_matrix_flags():
+    args = build_parser().parse_args(
+        ["matrix", "--smoke", "--steps", "3", "--models",
+         "bert-large,resnet50", "--strategies", "ddp,tp",
+         "--jobs", "2", "--no-cache"])
+    assert args.command == "matrix"
+    assert args.smoke and args.steps == 3
+    assert args.models == "bert-large,resnet50"
+    assert args.strategies == "ddp,tp"

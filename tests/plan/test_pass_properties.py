@@ -10,10 +10,17 @@ default pipeline) preserves the plan contract:
 - total bytes per payload tag are conserved exactly;
 - each rank's rendezvous sequence is *work-equivalent*: expanding every
   collective into its ``fused`` constituents reproduces the original
-  per-rank (kind, root, payload) sequence, so no communication was
-  invented, lost, or reordered across a barrier.
+  per-rank (kind, root, payload, group) sequence, so no communication
+  was invented, lost, or reordered across a barrier.
+
+Two plan sources feed the properties: the synthetic generator below
+(which also draws *grouped* collectives over random rank subsets, the
+shape tensor/2D parallelism emits), and the real compilers — every
+strategy in :data:`repro.training.STRATEGY_REGISTRY` compiled at random
+small world sizes and accumulation factors.
 """
 
+import functools
 import math
 
 import pytest
@@ -37,6 +44,12 @@ from repro.plan.passes import (
     PassManager,
     resolve_passes,
 )
+from repro.training import (
+    AMP_POLICY,
+    CompileContext,
+    STRATEGY_REGISTRY,
+    StepCosts,
+)
 
 _COPY_TYPES = (H2DCopy, D2HCopy, P2PCopy)
 
@@ -48,18 +61,27 @@ _SLOT_BYTES = (0.0, 1e5, 4e6, 16e6, 40e6)
 
 
 @st.composite
-def _sync_schedule(draw):
-    """A shared rendezvous schedule every rank will issue in order."""
+def _sync_schedule(draw, world):
+    """A shared rendezvous schedule; each slot is issued in order by its
+    communicator's members (the whole world, or a drawn rank subset)."""
     n = draw(st.integers(min_value=0, max_value=7))
     slots = []
     for _ in range(n):
         kind = draw(st.sampled_from(_SYNC_KINDS))
+        group = None
+        if kind != "barrier" and world > 1 and draw(st.booleans()):
+            members = draw(st.lists(
+                st.integers(min_value=0, max_value=world - 1),
+                min_size=1, max_size=world, unique=True))
+            group = tuple(sorted(members))
         slots.append({
             "kind": kind,
             "bytes": draw(st.sampled_from(_SLOT_BYTES)),
             "payload": draw(st.sampled_from([None, "gradients"])),
             "gated": draw(st.booleans()),
-            "root": 0 if kind == "broadcast" else None,
+            "root": (group[0] if group is not None else 0)
+            if kind == "broadcast" else None,
+            "group": group,
         })
     return slots
 
@@ -71,7 +93,7 @@ def plans(draw):
     schedule (optionally gated by untraced bucket-ready delays), and an
     optimizer step."""
     world = draw(st.integers(min_value=1, max_value=3))
-    slots = draw(_sync_schedule())
+    slots = draw(_sync_schedule(world))
     copy_bytes = draw(st.lists(st.sampled_from([0.0, 0.0, 2e6, 8e6]),
                                min_size=0, max_size=4))
     gate_base = draw(st.floats(min_value=1e-3, max_value=5e-2))
@@ -91,6 +113,8 @@ def plans(draw):
             if slot["kind"] == "barrier":
                 anchor = b.barrier(rank, f"bar{i}", deps=[anchor])
                 continue
+            if slot["group"] is not None and rank not in slot["group"]:
+                continue
             deps = [anchor]
             if slot["gated"]:
                 # DDP-style bucket gate: untraced, anchored on fwd, the
@@ -100,7 +124,8 @@ def plans(draw):
                                 deps=[fwd], traced=False)]
             uid = b.collective(rank, f"coll{i}", slot["kind"],
                                slot["bytes"], root=slot["root"],
-                               payload=slot["payload"], deps=deps)
+                               payload=slot["payload"],
+                               group=slot["group"], deps=deps)
             if slot["payload"] is not None:
                 totals[slot["payload"]] = (totals.get(slot["payload"],
                                                       0.0)
@@ -126,16 +151,29 @@ def _payload_totals(plan):
     return totals
 
 
-def _expanded_sync_seq(plan, rank):
-    """The rank's rendezvous sequence with fused ops expanded back into
-    their constituents — the pass-invariant view of its communication."""
+def _comm_keys(plan):
+    keys = set()
+    for op in plan:
+        if isinstance(op, (Collective, Barrier)):
+            keys.add(getattr(op, "group", None))
+    return keys
+
+
+def _expanded_sync_seq(plan, rank, key=None):
+    """The rank's rendezvous sequence on one communicator, with fused
+    ops expanded back into their constituents — the pass-invariant view
+    of its communication.  Sequences are per communicator because
+    rendezvous matching is: passes may legally commute *concurrent* ops
+    of different communicators past each other, but never reorder
+    within one."""
     seq = []
     for op in plan.by_rank(rank):
-        if isinstance(op, Collective):
-            seq.extend([(op.comm, op.root, op.payload)]
+        if isinstance(op, Collective) \
+                and getattr(op, "group", None) == key:
+            seq.extend([(op.comm, op.root, op.payload, op.group)]
                        * max(1, op.fused))
-        elif isinstance(op, Barrier):
-            seq.append(("barrier", None, None))
+        elif isinstance(op, Barrier) and key is None:
+            seq.append(("barrier", None, None, None))
     return seq
 
 
@@ -147,9 +185,13 @@ def _assert_conformant(before, after):
     for payload, total in b_totals.items():
         assert math.isclose(a_totals[payload], total, rel_tol=1e-9), \
             payload
-    for rank in range(before.world_size):
-        assert (_expanded_sync_seq(after, rank)
-                == _expanded_sync_seq(before, rank)), f"rank {rank}"
+    assert _comm_keys(after) <= _comm_keys(before)
+    for key in _comm_keys(before):
+        members = range(before.world_size) if key is None else key
+        for rank in members:
+            assert (_expanded_sync_seq(after, rank, key)
+                    == _expanded_sync_seq(before, rank, key)), \
+                f"rank {rank} on {key or 'world'}"
 
 
 # -- properties --------------------------------------------------------------
@@ -221,6 +263,62 @@ class _FlatTopology:
         return self.gbps
 
 
+# -- real compiler output: every registered strategy ------------------------
+
+@functools.lru_cache(maxsize=None)
+def _compile_env(world):
+    """Shared (costs, gpus) for compiling strategy plans at ``world``."""
+    from repro.core import ComposableSystem
+    from repro.workloads import get_benchmark
+
+    system = ComposableSystem()
+    active = system.configure("localGPUs")
+    gpus = list(active.gpus)[:world]
+    bench = get_benchmark("bert-base")
+    model = bench.build()
+    costs = StepCosts.for_benchmark(
+        model, AMP_POLICY, bench.efficiency[Precision.FP16],
+        batch_per_gpu=8)
+    return costs, gpus
+
+
+@functools.lru_cache(maxsize=None)
+def _strategy_plan(name, world, accumulation):
+    costs, gpus = _compile_env(world)
+    strategy = STRATEGY_REGISTRY[name]()
+    return strategy.compile_step(CompileContext(
+        costs=costs, world_size=world, accumulation=accumulation,
+        gpus=gpus))
+
+
+@pytest.mark.parametrize("pass_name", sorted(PASS_REGISTRY))
+class TestEveryPassOnEveryStrategy:
+    """The conformance contract over *real* compiler output: plans drawn
+    from every registered strategy (grouped collectives included) at
+    random small world sizes and accumulation factors."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(name=st.sampled_from(sorted(STRATEGY_REGISTRY)),
+           world=st.sampled_from([2, 4]),
+           accumulation=st.sampled_from([1, 2]))
+    def test_strategy_plans_conform(self, pass_name, name, world,
+                                    accumulation):
+        plan = _strategy_plan(name, world, accumulation)
+        out = PASS_REGISTRY[pass_name]().run(plan, PassContext())
+        _assert_conformant(plan, out)
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGY_REGISTRY))
+def test_default_pipeline_on_every_strategy(name):
+    """End-to-end default pipeline over each registered strategy's plan
+    at the largest test world (4 ranks: two 2D tensor groups)."""
+    plan = _strategy_plan(name, 4, 2)
+    problems = validate_plan(plan)
+    assert problems == [], problems
+    out = PassManager(resolve_passes("all")).run(plan, PassContext())
+    _assert_conformant(plan, out)
+
+
 class TestChunkSizingWithTopology:
     @settings(max_examples=25, deadline=None)
     @given(plan=plans(), bw=st.sampled_from([2e9, 12e9, 120e9]))
@@ -234,7 +332,11 @@ class TestChunkSizingWithTopology:
         expected = min(max(bw * 1e-3, 1e6), 64e6)
         for op in out:
             if isinstance(op, Collective) and op.bytes > 0:
-                if plan.world_size < 2:
+                # What matters is the *communicator* size: a grouped
+                # collective streams over its member subset only.
+                size = len(op.group) if op.group is not None \
+                    else plan.world_size
+                if size < 2:
                     assert op.chunk_bytes == min(8e6, op.bytes)
                 else:
                     assert op.chunk_bytes == min(expected, op.bytes)

@@ -168,7 +168,7 @@ class TestPlanCommand:
     def test_validates_strategy_choice(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(
-                ["plan", "bert-large", "--strategy", "fsdp"])
+                ["plan", "bert-large", "--strategy", "3d-sequence"])
 
     def test_opt_prints_a_report_per_pass(self, capsys):
         assert main(["plan", "bert-large", "--config", "falconGPUs",

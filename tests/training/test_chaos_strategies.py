@@ -1,0 +1,186 @@
+"""Chaos under the new strategy compilers: faults mid grouped collective.
+
+Tensor and 2D parallelism rendezvous on *subgroup* communicators, so
+fault detection has new surface to cover: a link failure must kill an
+in-flight tensor-parallel all-gather, and losing one device of a 2D
+rank grid must interrupt both its tensor group (all-gather/allreduce
+members) and its data-parallel group — then checkpoint-restart with a
+hot-plugged spare must restore the full grid, since a 2D layout cannot
+shrink below its tensor degree's divisibility.
+"""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultInjector
+from repro.core import ComposableSystem
+from repro.fabric import DeviceFailure, LinkFailure, NoRouteError
+from repro.training import (
+    FaultTolerantTrainingJob,
+    ResilienceConfig,
+    TensorParallel,
+    TrainingConfig,
+    TrainingInterrupted,
+    TrainingJob,
+    TwoDParallel,
+)
+from repro.workloads import get_benchmark
+
+
+def strategy_config(strategy, **overrides):
+    defaults = dict(benchmark=get_benchmark("resnet50"), global_batch=8,
+                    strategy=strategy, sim_steps=4, sim_checkpoints=0,
+                    checkpoint_interval_steps=2)
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+def uplink(system):
+    _, link, _ = system.falcon.drawers[0].hosts["host0"][0]
+    return link
+
+
+@pytest.mark.chaos
+class TestGroupedCollectiveFaultDetection:
+    def test_link_failure_mid_tp_allgather_interrupts(self):
+        # TP's step is dominated by per-layer-group boundary all-gathers
+        # on the world communicator's GPUs; pulling the drawer uplink
+        # after step 1 kills the next one in flight.
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch,
+                          strategy_config(TensorParallel()))
+
+        def pull_mid_run(steps_done, now):
+            if steps_done == 1:
+                system.topology.fail_link(uplink(system))
+
+        job.add_step_listener(pull_mid_run)
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            system.env.run(until=job.start())
+        exc = exc_info.value
+        assert isinstance(exc.cause,
+                          (LinkFailure, NoRouteError, DeviceFailure))
+        assert exc.steps_completed < 4
+
+    def test_device_failure_in_2d_grid_row_interrupts(self):
+        # 2x2 grid on four falcon GPUs: rank 1 sits in tensor group
+        # (0, 1) and data group (1, 3).  Dropping its device must
+        # interrupt the job even though ranks 2 and 3's tensor group
+        # never communicates with it directly.
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        dead = gpus[1].name
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch,
+                          strategy_config(TwoDParallel(tp_degree=2)))
+
+        def drop_grid_member(steps_done, now):
+            if steps_done == 1:
+                for link in system.topology.links_of(dead):
+                    system.topology.fail_link(
+                        link, cause=DeviceFailure(dead))
+
+        job.add_step_listener(drop_grid_member)
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            system.env.run(until=job.start())
+        exc = exc_info.value
+        assert isinstance(exc.cause, (DeviceFailure, NoRouteError,
+                                      LinkFailure))
+        assert exc.steps_completed < 4
+
+    def test_tp_checkpoint_survives_late_fault(self):
+        # The step-2 checkpoint completes before the fault, so the
+        # interrupted TP job reports durable state to restart from.
+        system = ComposableSystem()
+        gpus = system.falcon_gpus[:4]
+        job = TrainingJob(system.env, system.topology, system.host,
+                          gpus, system.host.scratch,
+                          strategy_config(TensorParallel(), sim_steps=6))
+
+        def pull_late(steps_done, now):
+            if steps_done == 4:
+                system.topology.fail_link(uplink(system))
+
+        job.add_step_listener(pull_late)
+        with pytest.raises(TrainingInterrupted) as exc_info:
+            system.env.run(until=job.start())
+        assert exc_info.value.last_checkpoint_step == 1
+
+
+@pytest.mark.chaos
+class TestGridRecovery:
+    def make_ft_job(self, system, gpus, config):
+        return FaultTolerantTrainingJob(
+            system.env, system.topology, system.host, gpus,
+            system.host.scratch, config,
+            resilience=ResilienceConfig(backoff_initial=0.05,
+                                        reattach_attempts=2,
+                                        allow_shrink=False),
+            inventory=system.inventory,
+            event_log=system.mcs.log)
+
+    def _drop_once(self, system, injector, node, at_step=2):
+        fired = {}
+
+        def arm(job, attempt):
+            if attempt != 1:
+                return
+
+            def on_step(steps_done, now):
+                if steps_done == at_step and "done" not in fired:
+                    fired["done"] = True
+                    injector.apply(
+                        FaultEvent(now, "gpu_drop", f"node:{node}"))
+
+            job.add_step_listener(on_step)
+
+        return arm
+
+    def test_2d_grid_restored_by_hot_swap_and_restart(self):
+        # A 2D layout cannot shrink to three ranks (3 % tp_degree != 0),
+        # so recovery must hot-plug the chassis spare, restore the full
+        # 2x2 grid, and restart from the durable checkpoint.
+        system = ComposableSystem()
+        system.install_spare_gpu(drawer=0)
+        injector = FaultInjector(system.env, system.topology,
+                                 falcon=system.falcon,
+                                 event_log=system.mcs.log)
+        gpus = system.falcon_gpus[:4]
+        ft = self.make_ft_job(
+            system, gpus,
+            strategy_config(TwoDParallel(tp_degree=2), sim_steps=6))
+        ft.on_attempt.append(
+            self._drop_once(system, injector, gpus[1].name))
+        result = ft.run()
+
+        assert result.completed
+        assert result.faults == 1
+        assert result.attempts == 2
+        assert result.final_world_size == 4
+        kinds = [a.kind for a in result.recovery_log]
+        assert "gpu_hotplug" in kinds
+        assert "job_restarted" in kinds
+        assert "ring_shrunk" not in kinds
+        assert system.mcs.log.query(kind="fault_detected")
+
+    def test_tp_restart_from_checkpoint_after_device_loss(self):
+        system = ComposableSystem()
+        system.install_spare_gpu(drawer=0)
+        injector = FaultInjector(system.env, system.topology,
+                                 falcon=system.falcon,
+                                 event_log=system.mcs.log)
+        gpus = system.falcon_gpus[:4]
+        ft = self.make_ft_job(
+            system, gpus,
+            strategy_config(TensorParallel(), sim_steps=6))
+        ft.on_attempt.append(
+            self._drop_once(system, injector, gpus[2].name, at_step=3))
+        result = ft.run()
+
+        assert result.completed
+        assert result.faults == 1
+        assert result.final_world_size == 4
+        kinds = [a.kind for a in result.recovery_log]
+        assert "gpu_hotplug" in kinds
+        assert "job_restarted" in kinds

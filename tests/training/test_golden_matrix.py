@@ -1,0 +1,106 @@
+"""Golden pins + engine equivalence for the new strategy compilers.
+
+``golden_matrix.json`` records end-to-end training timings for the
+tensor-parallel, 2D (tensor x data), and fully-sharded strategies on
+both backends at their fitted bert-large operating points.  Two
+contracts:
+
+- the trained metrics match the golden capture at 1e-9 relative, so any
+  drift in the compilers, the grouped-collective rendezvous, or the
+  executor fails loudly;
+- for every grid cell — with and without the full optimizing pass
+  pipeline — the fast-path engine and the event-loop executor evaluate
+  the same compiled plan identically (``assert_equivalence`` compares
+  every op's start/end and the makespan at 1e-9).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import ComposableSystem
+from repro.plan import evaluate_plan, validate_plan
+from repro.training import STRATEGY_REGISTRY, TrainingConfig, TrainingJob
+from repro.workloads import get_benchmark
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_matrix.json").read_text())
+
+METRICS = ("step_time", "step_time_std", "checkpoint_time",
+           "throughput", "total_time")
+
+CONFIGS = ("localGPUs", "falconGPUs")
+
+CASES = [(config, name) for config in CONFIGS
+         for name in GOLDEN["operating_points"]]
+
+
+def _operating_point(name):
+    gb, acc = GOLDEN["operating_points"][name]
+    return gb, acc
+
+
+def build_job(config, name, passes):
+    gb, acc = _operating_point(name)
+    system = ComposableSystem()
+    active = system.configure(config)
+    cfg = TrainingConfig(
+        benchmark=get_benchmark(GOLDEN["benchmark"]),
+        strategy=STRATEGY_REGISTRY[name](),
+        global_batch=gb,
+        accumulation_steps=acc,
+        plan_passes=passes,
+    )
+    return TrainingJob(system.env, system.topology, system.host,
+                       list(active.gpus), active.storage, cfg)
+
+
+def test_golden_covers_every_new_strategy():
+    assert set(GOLDEN["operating_points"]) == {"tp", "2d", "fsdp"}
+    assert set(GOLDEN["values"]) == {f"{c}/{n}" for c, n in CASES}
+
+
+@pytest.mark.parametrize("config,name", CASES,
+                         ids=[f"{c}/{n}" for c, n in CASES])
+def test_trained_metrics_match_golden(config, name):
+    gb, acc = _operating_point(name)
+    result = ComposableSystem().train(
+        GOLDEN["benchmark"],
+        configuration=config,
+        strategy=STRATEGY_REGISTRY[name](),
+        global_batch=gb,
+        accumulation_steps=acc,
+        sim_steps=GOLDEN["sim_steps"],
+    )
+    expected = GOLDEN["values"][f"{config}/{name}"]
+    for metric in METRICS:
+        got = getattr(result, metric)
+        want = expected[metric]
+        assert got == pytest.approx(want, rel=1e-9), \
+            f"{config}/{name} {metric}: {got!r} != {want!r}"
+
+
+@pytest.mark.parametrize(
+    "config,name,passes",
+    [(c, n, p) for c, n in CASES for p in (None, "all")],
+    ids=[f"{c}/{n}/{p or 'no-passes'}"
+         for c, n in CASES for p in (None, "all")])
+def test_fastpath_matches_executor_on_matrix_plans(config, name, passes):
+    job = build_job(config, name, passes)
+    assert validate_plan(job.step_plan) == []
+    timing = evaluate_plan(job.step_plan, job._exec_ctx,
+                           assert_equivalence=True)
+    assert timing.mode == "fastpath"
+    assert timing.makespan > 0.0
+
+
+@pytest.mark.parametrize("config,name", CASES,
+                         ids=[f"{c}/{n}" for c, n in CASES])
+def test_passes_never_slow_the_plan(config, name):
+    """The optimizing pipeline must pay for itself on every cell."""
+    base_job = build_job(config, name, None)
+    base = evaluate_plan(base_job.step_plan, base_job._exec_ctx)
+    opt_job = build_job(config, name, "all")
+    opt = evaluate_plan(opt_job.step_plan, opt_job._exec_ctx)
+    assert opt.makespan <= base.makespan * (1 + 1e-9)
