@@ -218,6 +218,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="directory for BENCH_<date>.json "
                                 "(default: current directory)")
 
+    autotune = sub.add_parser(
+        "autotune", help="search plan-pass parameters (bucket cap, "
+                         "chunk target, overlap on/off) per "
+                         "configuration x variant; prints the "
+                         "tuned-vs-default frontier and writes a "
+                         "reusable TUNING.json")
+    autotune.add_argument("--smoke", action="store_true",
+                          help="reduced candidate grid and cell subset "
+                               "for CI")
+    autotune.add_argument("--no-what-if", action="store_true",
+                          help="skip the per-cell what-if ceilings")
+    autotune.add_argument("--output", default=None, metavar="DIR",
+                          help="directory for TUNING.json "
+                               "(default: current directory)")
+
     profile = sub.add_parser(
         "profile", help="profile one benchmark x strategy x backend "
                         "cell: critical-path attribution, utilization, "
@@ -559,15 +574,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                             3)),
              ("fast-path grid (s)", round(grid["fastpath_s"], 3)),
              ("fast-path grid, --jobs (s)",
-              "-" if grid["fastpath_jobs_s"] is None
+              "-" if grid.get("fastpath_jobs_s") is None
               else round(grid["fastpath_jobs_s"], 3)),
              ("speedup", round(grid["speedup"], 2)),
              ("values match (<=1e-5)", grid["values_match"]),
              ("max relative error", f"{grid['max_rel_err']:.2e}")],
-            title="Fig. 16 grid wall-clock") + "\n")
+            title="Fig. 16 grid wall-clock") + "\n\n")
+        batched = report["batched_grid"]
+        out(render_table(
+            ["Metric", "Value"],
+            [("lanes (cells x factors)",
+              f"{batched['cells']} x {len(batched['factors'])} = "
+              f"{batched['lanes']}"),
+             ("scalar fast path (s)",
+              round(batched["scalar_fastpath_s"], 3)),
+             ("batched replay (s)", round(batched["batched_s"], 3)),
+             ("speedup vs scalar",
+              round(batched["speedup_vs_scalar"], 2)),
+             ("est. speedup vs event-loop study",
+              round(batched["speedup_vs_eventloop_study"], 1)),
+             ("diverged lanes (scalar fallback)",
+              batched["diverged_lanes"]),
+             ("values match (<=1e-9)", batched["values_match"])],
+            title="Widened grid: batched tape replay") + "\n")
         path = write_bench_report(report, args.output)
         out(f"wrote {path}\n")
         return 0 if grid["values_match"] else 1
+
+    if args.command == "autotune":
+        from .experiments.autotune import run_autotune, write_tuning_table
+        report = run_autotune(smoke=args.smoke,
+                              what_if_ceilings=not args.no_what_if)
+        rows = []
+        for cell in report["cells"]:
+            rows.append((cell["configuration"], cell["variant"],
+                         f"{cell['default_makespan_s'] * 1e3:.3f}",
+                         f"{cell['tuned_makespan_s'] * 1e3:.3f}",
+                         f"{cell['improvement_pct']:.2f}%",
+                         cell["tuned_candidate"]))
+        out(render_table(
+            ["Configuration", "Variant", "Default (ms)", "Tuned (ms)",
+             "Win", "Tuned pipeline"],
+            rows, title="Autotune frontier: tuned vs default passes")
+            + "\n")
+        meta = report["meta"]
+        out(f"{meta['candidates']} candidates x {meta['cells']} cells "
+            f"in {meta['wall_clock_s']:.1f}s\n")
+        path = write_tuning_table(report, args.output)
+        out(f"wrote {path}\n")
+        return 0 if report["tuned_never_slower"] else 1
 
     if args.command == "sharing":
         iso = tenancy_isolation_study(sim_steps=max(4, args.steps // 2))

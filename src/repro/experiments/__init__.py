@@ -82,6 +82,13 @@ from .matrix import (
     format_matrix,
     run_matrix,
 )
+from .autotune import (
+    candidate_pipelines,
+    load_tuning_table,
+    run_autotune,
+    tuned_passes,
+    write_tuning_table,
+)
 from .parallel import (
     NullCache,
     ResultCache,
@@ -145,6 +152,11 @@ __all__ = [
     "run_cells",
     "run_perfbench",
     "write_bench_report",
+    "candidate_pipelines",
+    "run_autotune",
+    "write_tuning_table",
+    "load_tuning_table",
+    "tuned_passes",
     "fleet_study",
     "SMOKE_SPEC",
     "collect_provenance",

@@ -148,6 +148,22 @@ def _strategy_spec(strategy) -> Optional[dict]:
     return {"type": type(strategy).__name__, "kwargs": kwargs}
 
 
+def _passes_spec(plan_passes):
+    """Resolve a ``plan_passes`` spec to its canonical knob-valued form.
+
+    Cell keys must reflect the *resolved* pass parameters (bucket cap,
+    chunk target), not the spelling of the spec: ``"bucketing"`` and
+    ``GradientBucketing(cap_bytes=25e6)`` compile different plans and
+    may not alias in the cache.  Returns ``None`` for ``None`` and
+    raises for specs :func:`resolve_passes` cannot build (callers treat
+    that as not-cacheable).
+    """
+    if plan_passes is None:
+        return None
+    from ..plan.passes import passes_to_spec
+    return passes_to_spec(plan_passes)
+
+
 def experiment_cell(benchmark: str, configuration: str,
                     strategy=None, policy=None,
                     global_batch: Optional[int] = None,
@@ -159,6 +175,13 @@ def experiment_cell(benchmark: str, configuration: str,
     serializable cell (exotic strategy or non-JSON kwargs) — callers
     fall back to running in-process without the cache.
     """
+    train_kwargs = dict(sorted(train_kwargs.items()))
+    if "plan_passes" in train_kwargs:
+        try:
+            train_kwargs["plan_passes"] = _passes_spec(
+                train_kwargs["plan_passes"])
+        except Exception:
+            return None
     cell = {
         "kind": "experiment",
         "benchmark": benchmark,
@@ -168,7 +191,7 @@ def experiment_cell(benchmark: str, configuration: str,
         "global_batch": global_batch,
         "sim_steps": sim_steps,
         "sim_checkpoints": sim_checkpoints,
-        "train_kwargs": dict(sorted(train_kwargs.items())),
+        "train_kwargs": train_kwargs,
     }
     if strategy is not None and cell["strategy"] is None:
         return None
@@ -188,7 +211,7 @@ def opt_profile_cell(benchmark: str, configuration: str, sim_steps: int,
         "configuration": configuration,
         "sim_steps": sim_steps,
         "pipeline": pipeline,
-        "plan_passes": plan_passes,
+        "plan_passes": _passes_spec(plan_passes),
     }
 
 
@@ -239,6 +262,11 @@ def _execute_cell(cell: dict) -> dict:
     kind = cell["kind"]
     if kind == "experiment":
         from .runner import run_configuration
+        train_kwargs = dict(cell["train_kwargs"])
+        if train_kwargs.get("plan_passes") is not None:
+            from ..plan.passes import passes_from_spec
+            train_kwargs["plan_passes"] = passes_from_spec(
+                train_kwargs["plan_passes"])
         record = run_configuration(
             cell["benchmark"], cell["configuration"],
             strategy=_build_strategy(cell["strategy"]),
@@ -246,18 +274,22 @@ def _execute_cell(cell: dict) -> dict:
             global_batch=cell["global_batch"],
             sim_steps=cell["sim_steps"],
             sim_checkpoints=cell["sim_checkpoints"],
-            **cell["train_kwargs"],
+            **train_kwargs,
         )
         return record_to_value(record)
     if kind == "opt-profile":
         from ..training import AMP_POLICY, DistributedDataParallel
         from .software_opts import _exposed_sync_per_step
         from .tracing import traced_run
+        plan_passes = cell["plan_passes"]
+        if plan_passes is not None:
+            from ..plan.passes import passes_from_spec
+            plan_passes = passes_from_spec(plan_passes)
         run = traced_run(
             cell["benchmark"], cell["configuration"],
             sim_steps=cell["sim_steps"],
             strategy=DistributedDataParallel(), policy=AMP_POLICY,
-            plan_passes=cell["plan_passes"])
+            plan_passes=plan_passes)
         return {
             "step_time": run.record.step_time,
             "exposed_sync": _exposed_sync_per_step(run),

@@ -35,6 +35,7 @@ __all__ = [
     "SEMANTIC_RTOL",
     "DEFAULT_TOLERANCE",
     "MIN_CHURN_SPEEDUP",
+    "MIN_BATCHED_SPEEDUP",
     "CellComparison",
     "RegressionReport",
     "find_baseline",
@@ -53,6 +54,10 @@ DEFAULT_TOLERANCE = 0.35
 #: bar; an absolute pin, so baseline and current runs may differ in
 #: churn cycle count).
 MIN_CHURN_SPEEDUP = 5.0
+#: Floor for the batched tape-replay speedup over per-lane scalar
+#: fast-path evaluation on the width-16 widened Fig. 16 grid (the
+#: vectorized-grid acceptance bar; absolute, like the churn pin).
+MIN_BATCHED_SPEEDUP = 3.0
 
 
 @dataclass
@@ -101,12 +106,16 @@ class RegressionReport:
     #: flow-churn gate verdict (None when the current report predates
     #: the scenario).
     churn: Optional[dict] = None
+    #: batched-grid gate verdict (None when the current report predates
+    #: the scenario; old BENCH baselines never gate it).
+    batched: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
         cells_ok = bool(self.cells) and all(c.ok for c in self.cells)
         churn_ok = self.churn is None or self.churn["ok"]
-        return cells_ok and churn_ok
+        batched_ok = self.batched is None or self.batched["ok"]
+        return cells_ok and churn_ok and batched_ok
 
     @property
     def failures(self) -> list:
@@ -120,6 +129,7 @@ class RegressionReport:
             "cells": [c.as_dict() for c in self.cells],
             "uncovered": [list(k) for k in self.uncovered],
             "flow_churn": self.churn,
+            "batched_grid": self.batched,
         }
 
     def render_text(self) -> str:
@@ -143,6 +153,15 @@ class RegressionReport:
         for key in self.uncovered:
             lines.append(f"  {key[0]:<13} {key[1]:<14} "
                          f"{'(no shared baseline cell)':>38}")
+        if self.batched is not None:
+            base = self.batched.get("baseline_speedup")
+            lines.append(
+                f"batched grid: {self.batched['lanes']} lanes, replay "
+                f"{self.batched['speedup']:.1f}x over scalar fast path "
+                f"(floor {MIN_BATCHED_SPEEDUP:g}x"
+                + (f", baseline {base:.1f}x" if base else "")
+                + f", values_match={self.batched['values_match']}) "
+                + ("OK" if self.batched["ok"] else "FAIL"))
         if self.churn is not None:
             base = self.churn.get("baseline_speedup")
             lines.append(
@@ -207,7 +226,8 @@ def compare_reports(baseline: dict, current: dict,
     return RegressionReport(cells=cells, tolerance=tolerance,
                             baseline_path=baseline_path,
                             uncovered=uncovered,
-                            churn=_gate_churn(baseline, current))
+                            churn=_gate_churn(baseline, current),
+                            batched=_gate_batched(baseline, current))
 
 
 def _gate_churn(baseline: dict, current: dict) -> Optional[dict]:
@@ -233,6 +253,34 @@ def _gate_churn(baseline: dict, current: dict) -> Optional[dict]:
         "baseline_speedup": base.get("speedup"),
         "floor": MIN_CHURN_SPEEDUP,
         "ok": equivalent and speedup >= MIN_CHURN_SPEEDUP,
+    }
+
+
+def _gate_batched(baseline: dict, current: dict) -> Optional[dict]:
+    """Pin the batched-replay speedup to its absolute floor.
+
+    Like the churn pin, the batched grid compares two legs of the same
+    run on the same host, so the ratio is gated against
+    :data:`MIN_BATCHED_SPEEDUP` rather than against the baseline (the
+    baseline figure is context only — BENCH ledgers that predate the
+    scenario simply lack the key and gate nothing on it).  Equivalence
+    (``values_match`` at 1e-9) is part of the verdict: a fast replay
+    that drifts from the scalar fast path is a failure, not a win.
+    """
+    scenario = current.get("batched_grid")
+    if scenario is None:
+        return None
+    base = baseline.get("batched_grid") or {}
+    speedup = scenario.get("speedup_vs_scalar", 0.0)
+    values_match = bool(scenario.get("values_match"))
+    return {
+        "lanes": scenario.get("lanes"),
+        "cells": scenario.get("cells"),
+        "speedup": speedup,
+        "values_match": values_match,
+        "baseline_speedup": base.get("speedup_vs_scalar"),
+        "floor": MIN_BATCHED_SPEEDUP,
+        "ok": values_match and speedup >= MIN_BATCHED_SPEEDUP,
     }
 
 

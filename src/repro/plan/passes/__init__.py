@@ -33,6 +33,8 @@ from .manager import (
     PassManager,
     PassReport,
     PlanPass,
+    passes_from_spec,
+    passes_to_spec,
     resolve_passes,
 )
 from .bucketing import GradientBucketing
@@ -49,6 +51,8 @@ __all__ = [
     "PASS_REGISTRY",
     "DEFAULT_PIPELINE",
     "resolve_passes",
+    "passes_to_spec",
+    "passes_from_spec",
     "GradientBucketing",
     "OverlapScheduling",
     "CopyFusion",

@@ -35,6 +35,8 @@ __all__ = [
     "PASS_REGISTRY",
     "DEFAULT_PIPELINE",
     "resolve_passes",
+    "passes_to_spec",
+    "passes_from_spec",
     "retarget_deps",
     "drop_orphaned_gates",
 ]
@@ -199,4 +201,31 @@ def resolve_passes(spec) -> list[PlanPass]:
             known = ", ".join(sorted(PASS_REGISTRY))
             raise PassError(
                 f"unknown plan pass {item!r} (known: {known}, all)")
+    return out
+
+
+def passes_to_spec(spec) -> list[dict]:
+    """Canonical JSONable form of a pass pipeline, knobs *resolved*.
+
+    ``[{"pass": name, "params": {...}}]`` — every constructor parameter
+    appears with its concrete value, so two pipelines that differ only
+    in a knob (bucket cap, chunk target) serialize differently.  This is
+    the form cell caches and tuning tables persist; reverse with
+    :func:`passes_from_spec`.  Accepts anything
+    :func:`resolve_passes` accepts.
+    """
+    return [{"pass": p.name, "params": dict(sorted(vars(p).items()))}
+            for p in resolve_passes(spec)]
+
+
+def passes_from_spec(spec: Sequence[dict]) -> list[PlanPass]:
+    """Rebuild pass instances from :func:`passes_to_spec` output."""
+    out: list[PlanPass] = []
+    for entry in spec:
+        name = entry["pass"]
+        if name not in PASS_REGISTRY:
+            known = ", ".join(sorted(PASS_REGISTRY))
+            raise PassError(
+                f"unknown plan pass {name!r} in spec (known: {known})")
+        out.append(PASS_REGISTRY[name](**entry.get("params", {})))
     return out

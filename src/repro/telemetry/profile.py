@@ -76,6 +76,9 @@ __all__ = [
     "scale_plan",
     "predict_scaled_timing",
     "relaxation_is_exact",
+    "dirty_cone",
+    "IncrementalRetime",
+    "retime_incremental",
     "WhatIf",
     "what_if",
     "PlanProfile",
@@ -744,56 +747,61 @@ def relaxation_is_exact(plan: StepPlan, bucket: str,
     return flow_buckets <= {bucket}
 
 
-def predict_scaled_timing(plan: StepPlan, base: PlanTiming,
-                          ctx: ExecutionContext, bucket: str,
-                          factor: float) -> PlanTiming:
-    """Re-time the plan with one category's measured durations rescaled.
+class _DurationModel:
+    """Measured-duration oracle shared by the what-if replays.
 
-    An event-driven topological replay of the measured schedule: every
-    op keeps its measured exclusive duration except the scaled bucket,
-    whose durations become ``fixed + factor * (measured - fixed)`` (the
-    fixed part being latencies/overheads that do not scale with bytes).
-    GPU stream FIFOs and rendezvous grouping are re-derived, so slack
-    created (or consumed) by the rescaling propagates exactly through
-    the DAG.  ``base`` must be a plan-relative timing (starts at 0).
+    Precomputes the per-op *exclusive* durations from one base timing
+    (stream admission and rendezvous grouping reconstructed from the
+    measured times) and answers "how long does this op run under the
+    rescaled bucket" — the full and incremental replays only differ in
+    *which* ops they re-time, never in how long an op takes.
     """
-    if bucket not in SCALE_BUCKETS:
-        raise PlanError(f"unknown scale bucket {bucket!r}; "
-                        f"one of {SCALE_BUCKETS}")
-    times = base.op_times
-    begins, _prevs = _stream_begins(plan, times)
-    base_groups, _by_uid = _rendezvous_groups(plan, times)
-    group_by_members = {frozenset(g.uids.values()): g
-                        for g in base_groups}
-    topo = ctx.topology
-    world = ctx.comm.world_size if ctx.comm is not None \
-        else plan.world_size
 
-    def exec_duration(op) -> float:
-        start, end = times[op.uid]
-        dur = end - begins.get(op.uid, start)
-        if bucket == "compute" and _scalable(op, "compute"):
-            dur *= factor
+    def __init__(self, plan: StepPlan, base: PlanTiming,
+                 ctx: ExecutionContext, bucket: str, factor: float):
+        if bucket not in SCALE_BUCKETS:
+            raise PlanError(f"unknown scale bucket {bucket!r}; "
+                            f"one of {SCALE_BUCKETS}")
+        self.plan = plan
+        self.ctx = ctx
+        self.bucket = bucket
+        self.factor = factor
+        self.times = _times_of(base)
+        self.begins, _prevs = _stream_begins(plan, self.times)
+        base_groups, _by_uid = _rendezvous_groups(plan, self.times)
+        self.group_by_members = {frozenset(g.uids.values()): g
+                                 for g in base_groups}
+        self.world = ctx.comm.world_size if ctx.comm is not None \
+            else plan.world_size
+
+    def exec_duration(self, op) -> float:
+        start, end = self.times[op.uid]
+        dur = end - self.begins.get(op.uid, start)
+        if self.bucket == "compute" and _scalable(op, "compute"):
+            dur *= self.factor
         return dur
 
-    def scaled_fixed(measured: float, fixed: float) -> float:
+    def _scaled_fixed(self, measured: float, fixed: float) -> float:
         fixed = min(fixed, measured)
-        return fixed + factor * (measured - fixed)
+        return fixed + self.factor * (measured - fixed)
 
-    def transfer_duration(op) -> float:
-        measured = times[op.uid][1] - times[op.uid][0]
-        if not _scalable(op, bucket) or bucket not in ("comm", "copy") \
-                or _op_bucket(op) != bucket:
+    def transfer_duration(self, op) -> float:
+        measured = self.times[op.uid][1] - self.times[op.uid][0]
+        if not _scalable(op, self.bucket) \
+                or self.bucket not in ("comm", "copy") \
+                or _op_bucket(op) != self.bucket:
             return measured
-        src, dst = _transfer_endpoints(op, ctx)
-        route = topo.route(src, dst)
-        return scaled_fixed(measured, topo.transfer_overhead
-                            + route.latency)
+        src, dst = _transfer_endpoints(op, self.ctx)
+        route = self.ctx.topology.route(src, dst)
+        return self._scaled_fixed(measured,
+                                  self.ctx.topology.transfer_overhead
+                                  + route.latency)
 
-    def storage_duration(op) -> float:
-        measured = times[op.uid][1] - times[op.uid][0]
-        if bucket != "storage" or not _scalable(op, "storage"):
+    def storage_duration(self, op) -> float:
+        measured = self.times[op.uid][1] - self.times[op.uid][0]
+        if self.bucket != "storage" or not _scalable(op, "storage"):
             return measured
+        ctx = self.ctx
         spec = ctx.storage.spec
         latency = spec.read_latency if isinstance(op, StorageRead) \
             else spec.write_latency
@@ -801,24 +809,35 @@ def predict_scaled_timing(plan: StepPlan, base: PlanTiming,
             else ctx.host_node
         dst = ctx.host_node if isinstance(op, StorageRead) \
             else ctx.storage.media_node
-        route = topo.route(src, dst)
-        return scaled_fixed(measured, latency + topo.transfer_overhead
-                            + route.latency)
+        route = ctx.topology.route(src, dst)
+        return self._scaled_fixed(measured,
+                                  latency + ctx.topology.transfer_overhead
+                                  + route.latency)
 
-    def group_duration(members: frozenset, rep) -> float:
-        group = group_by_members.get(members)
+    def delay_params(self, op) -> tuple:
+        seconds, fraction = op.seconds, op.elapsed_fraction
+        if self.bucket == "framework" and _scalable(op, "framework"):
+            seconds, fraction = seconds * self.factor, \
+                fraction * self.factor
+        return seconds, fraction
+
+    def group_duration(self, members: frozenset, rep) -> float:
+        group = self.group_by_members.get(members)
         measured = group.duration if group is not None else 0.0
         gkey = getattr(rep, "group", None)
-        member_idx = list(range(world)) if gkey is None else list(gkey)
+        member_idx = list(range(self.world)) if gkey is None \
+            else list(gkey)
         n = len(member_idx)
-        if isinstance(rep, Barrier) or bucket != "comm" \
+        if isinstance(rep, Barrier) or self.bucket != "comm" \
                 or not _scalable(rep, "comm") or n < 2:
             return measured
-        if factor == 0.0:
+        if self.factor == 0.0:
             return 0.0  # the engines short-circuit zero-byte groups
+        topo = self.ctx.topology
         kind = _COMM_KIND.get(rep.comm, rep.comm)
         phases = _RING[kind](n) if kind in _RING else 1
-        all_ranks = ctx.comm.ranks if ctx.comm is not None else None
+        all_ranks = self.ctx.comm.ranks if self.ctx.comm is not None \
+            else None
         if all_ranks is None:
             return measured
         ranks = [all_ranks[i] for i in member_idx]
@@ -834,16 +853,69 @@ def predict_scaled_timing(plan: StepPlan, base: PlanTiming,
                 else [(ranks[i], ranks[root]) for i in others]
         lat = max((topo.route(s, d).latency for s, d in pairs),
                   default=0.0)
-        return scaled_fixed(measured,
-                            phases * (topo.transfer_overhead + lat))
+        return self._scaled_fixed(measured,
+                                  phases * (topo.transfer_overhead + lat))
 
-    # -- the replay --------------------------------------------------------
-    indegree = {op.uid: 0 for op in plan}
-    dependents: dict = {op.uid: [] for op in plan}
+
+def _retime(plan: StepPlan, model: _DurationModel,
+            cone: Optional[frozenset] = None):
+    """Event-driven replay of the measured schedule over ``cone``.
+
+    With ``cone=None`` every op is re-timed (the full relaxation).
+    Otherwise only cone members are replayed: a clean dependency
+    contributes its *base* end time to a dirty op's readiness, each
+    rank's stream cursor starts where its clean prefix left off, and
+    per-(communicator, rank) join numbering starts after the clean
+    prefix of rendezvous instances.
+
+    Returns ``(out, violations)`` — the re-timed spans, plus the seed
+    sets to add if a dirty event was observed moving *before* the clean
+    frontier it was assumed to follow (the detect-and-expand guard;
+    always empty for the full replay).
+    """
+    times = model.times
+    all_uids = {op.uid for op in plan}
+    cone_set = all_uids if cone is None else set(cone)
+    clean = all_uids - cone_set
+
+    # Clean frontiers the guard checks against: the latest base ready
+    # time among a rank's clean computes, and the latest base arrival
+    # among a (communicator, rank)'s clean joins.
+    stream_free: dict = {}
+    last_clean_ready: dict = {}
+    clean_joins: dict = {}
+    last_clean_join: dict = {}
     for op in plan:
+        if op.uid not in clean:
+            continue
+        if isinstance(op, Compute):
+            start, end = times[op.uid]
+            rank = op.rank
+            stream_free[rank] = max(stream_free.get(rank, 0.0), end)
+            last_clean_ready[rank] = max(last_clean_ready.get(rank, 0.0),
+                                         start)
+        elif isinstance(op, (Collective, Barrier)):
+            key = (getattr(op, "group", None), op.rank)
+            clean_joins[key] = clean_joins.get(key, 0) + 1
+            last_clean_join[key] = max(last_clean_join.get(key, 0.0),
+                                       times[op.uid][0])
+
+    indegree: dict = {}
+    dependents: dict = {uid: [] for uid in cone_set}
+    ready_at: dict = {}
+    for op in plan:
+        if op.uid not in cone_set:
+            continue
+        count = 0
         for dep in op.deps:
-            indegree[op.uid] += 1
-            dependents[dep].append(op)
+            if dep in cone_set:
+                count += 1
+                dependents[dep].append(op)
+            else:
+                ready_at[op.uid] = max(ready_at.get(op.uid, 0.0),
+                                       times[dep][1])
+        indegree[op.uid] = count
+
     heap: list = []
     seq = 0
 
@@ -854,14 +926,20 @@ def predict_scaled_timing(plan: StepPlan, base: PlanTiming,
 
     for rank in range(plan.world_size):
         for op in plan.by_rank(rank):
-            if indegree[op.uid] == 0:
-                push(0.0, op)
+            if op.uid in cone_set and indegree[op.uid] == 0:
+                push(ready_at.get(op.uid, 0.0), op)
 
     out: dict = {}
-    ready_at: dict = {}
-    stream_free: dict = {}
-    join_seq: dict = {}
+    join_seq: dict = dict(clean_joins)
     open_groups: dict = {}
+    violations: set = set()
+
+    def moved_before(t, frontier_key, frontier, op):
+        # A dirty event may not overtake the clean frontier it was
+        # ordered after in the base schedule; an unchanged time is by
+        # definition in its base position.
+        return frontier_key in frontier and t <= frontier[frontier_key] \
+            and t != times[op.uid][0]
 
     def finish(op, start, end):
         out[op.uid] = (start, end)
@@ -874,12 +952,16 @@ def predict_scaled_timing(plan: StepPlan, base: PlanTiming,
     while heap:
         t, _seq, op = heappop(heap)
         if isinstance(op, Compute):
+            if moved_before(t, op.rank, last_clean_ready, op):
+                violations.add(("stream", op.rank))
             begin = max(t, stream_free.get(op.rank, 0.0))
-            end = begin + exec_duration(op)
+            end = begin + model.exec_duration(op)
             stream_free[op.rank] = end
             finish(op, t, end)
         elif isinstance(op, (Collective, Barrier)):
             gkey = getattr(op, "group", None)
+            if moved_before(t, (gkey, op.rank), last_clean_join, op):
+                violations.add(("join", gkey, op.rank))
             expected = plan.world_size if gkey is None else len(gkey)
             opid = join_seq.get((gkey, op.rank), 0)
             join_seq[(gkey, op.rank)] = opid + 1
@@ -889,26 +971,175 @@ def predict_scaled_timing(plan: StepPlan, base: PlanTiming,
                 del open_groups[(gkey, opid)]
                 live = max(arr for _op, arr in group.values())
                 members = frozenset(m.uid for m, _t in group.values())
-                end = live + group_duration(members, op)
+                end = live + model.group_duration(members, op)
                 for member, arrival in group.values():
                     finish(member, arrival, end)
         elif isinstance(op, (H2DCopy, D2HCopy, P2PCopy)):
-            finish(op, t, t + transfer_duration(op))
+            finish(op, t, t + model.transfer_duration(op))
         elif isinstance(op, (StorageRead, StorageWrite)):
-            finish(op, t, t + storage_duration(op))
+            finish(op, t, t + model.storage_duration(op))
         elif isinstance(op, Delay):
-            seconds, fraction = op.seconds, op.elapsed_fraction
-            if bucket == "framework" and _scalable(op, "framework"):
-                seconds, fraction = seconds * factor, fraction * factor
+            seconds, fraction = model.delay_params(op)
             finish(op, t, t + seconds + fraction * t)
         else:  # pragma: no cover - taxonomy is closed
             raise PlanError(f"cannot replay op kind {op.kind!r}")
-    if len(out) != len(plan.ops):
+    if len(out) != len(cone_set):
         raise PlanError(
-            f"what-if replay stalled: {len(plan.ops) - len(out)} op(s) "
+            f"what-if replay stalled: {len(cone_set) - len(out)} op(s) "
             "never became ready (asymmetric rendezvous?)")
+    return out, violations
+
+
+def predict_scaled_timing(plan: StepPlan, base: PlanTiming,
+                          ctx: ExecutionContext, bucket: str,
+                          factor: float) -> PlanTiming:
+    """Re-time the plan with one category's measured durations rescaled.
+
+    An event-driven topological replay of the measured schedule: every
+    op keeps its measured exclusive duration except the scaled bucket,
+    whose durations become ``fixed + factor * (measured - fixed)`` (the
+    fixed part being latencies/overheads that do not scale with bytes).
+    GPU stream FIFOs and rendezvous grouping are re-derived, so slack
+    created (or consumed) by the rescaling propagates exactly through
+    the DAG.  ``base`` must be a plan-relative timing (starts at 0).
+    """
+    model = _DurationModel(plan, base, ctx, bucket, factor)
+    out, _violations = _retime(plan, model, cone=None)
     makespan = max((end for _s, end in out.values()), default=0.0)
     return PlanTiming(mode="predicted", op_times=out, makespan=makespan)
+
+
+def dirty_cone(plan: StepPlan, base, seeds) -> frozenset:
+    """Ops whose times may change when ``seeds``' durations change.
+
+    The closure over the three edge kinds that carry timing influence
+    in the measured-schedule replay — the what-if analogue of PR 8's
+    component-independence argument for the max-min solver (an op
+    outside every influence path of the perturbation keeps its time):
+
+    - **DAG edges** — dependents of a dirty op are dirty (readiness is
+      a max over dependency ends);
+    - **stream suffix** — every compute at-or-after the first dirty
+      compute in a rank's base admission order is dirty (the FIFO
+      cursor threads their begins together); ties are taken dirty;
+    - **rendezvous hyperedges** — if any member of a base rendezvous
+      instance is dirty all members are (the group ends together), and
+      on each member rank every later join on the same communicator is
+      dirty (instance numbering shifts with arrival order).
+
+    Conversely a clean op's readiness inputs, stream predecessors, and
+    rendezvous peers are all clean, so by induction over base event
+    order its replayed times equal its base times exactly — re-timing
+    the cone alone reproduces the full relaxation.  The one assumption
+    is that dirty events do not *overtake* the clean frontier (a dirty
+    compute becoming ready before a clean one admitted earlier would
+    reorder the FIFO); :func:`retime_incremental` guards exactly that
+    and expands the cone when it trips.
+    """
+    times = _times_of(base)
+    begins, _prevs = _stream_begins(plan, times)
+    _groups, by_uid = _rendezvous_groups(plan, times)
+    instance_members: dict = {}
+    for g in _groups:
+        members = tuple(g.uids.values())
+        for uid in members:
+            instance_members[uid] = members
+
+    streams: dict = {}
+    joins: dict = {}
+    dependents: dict = {op.uid: [] for op in plan}
+    ops_by_uid = {op.uid: op for op in plan}
+    for op in plan:
+        for dep in op.deps:
+            dependents[dep].append(op.uid)
+        if isinstance(op, Compute):
+            begin = begins.get(op.uid, times[op.uid][0])
+            streams.setdefault(op.rank, []).append((begin, op.uid))
+        elif isinstance(op, (Collective, Barrier)):
+            key = (getattr(op, "group", None), op.rank)
+            joins.setdefault(key, []).append((times[op.uid][0], op.uid))
+
+    dirty = set()
+    work = [uid for uid in seeds if uid in ops_by_uid]
+    while work:
+        uid = work.pop()
+        if uid in dirty:
+            continue
+        dirty.add(uid)
+        work.extend(d for d in dependents[uid] if d not in dirty)
+        op = ops_by_uid[uid]
+        if isinstance(op, Compute):
+            begin = begins.get(uid, times[uid][0])
+            work.extend(u for b, u in streams[op.rank]
+                        if b >= begin and u not in dirty)
+        elif isinstance(op, (Collective, Barrier)):
+            members = instance_members.get(uid, ())
+            work.extend(u for u in members if u not in dirty)
+            arrival = times[uid][0]
+            key = (getattr(op, "group", None), op.rank)
+            work.extend(u for a, u in joins[key]
+                        if a >= arrival and u not in dirty)
+    return frozenset(dirty)
+
+
+@dataclass
+class IncrementalRetime:
+    """One incremental re-timing: the merged timing plus cone stats."""
+
+    timing: PlanTiming
+    cone: frozenset
+    #: Fraction of the plan's ops that were re-timed.
+    cone_fraction: float
+    #: Detect-and-expand rounds the guard forced (0 = cone held).
+    expand_rounds: int
+
+
+def retime_incremental(plan: StepPlan, base: PlanTiming,
+                       ctx: ExecutionContext, bucket: str,
+                       factor: float,
+                       seeds=None) -> IncrementalRetime:
+    """:func:`predict_scaled_timing`, re-timing only the dirty cone.
+
+    ``seeds`` defaults to the ops the bucket rescaling actually touches
+    (see ``_scalable``); pass an explicit uid set to re-time after a
+    knob perturbed specific ops.  Ops outside the cone keep their base
+    times verbatim; cone ops replay against the frozen clean frontier.
+    If the guard observes a dirty event overtaking that frontier the
+    offending rank/communicator is added to the seeds and the replay
+    reruns — each round strictly grows the cone, so this terminates
+    (in the worst case at the full relaxation).
+    """
+    model = _DurationModel(plan, base, ctx, bucket, factor)
+    if seeds is None:
+        seeds = set() if factor == 1.0 else \
+            {op.uid for op in plan if _scalable(op, bucket)}
+    seeds = set(seeds)
+    times = model.times
+    rounds = 0
+    while True:
+        cone = dirty_cone(plan, times, seeds)
+        out, violations = _retime(plan, model, cone)
+        if not violations:
+            break
+        rounds += 1
+        for violation in violations:
+            if violation[0] == "stream":
+                seeds.update(op.uid for op in plan.by_rank(violation[1])
+                             if isinstance(op, Compute))
+            else:
+                _kind, gkey, rank = violation
+                seeds.update(op.uid for op in plan.by_rank(rank)
+                             if isinstance(op, (Collective, Barrier))
+                             and getattr(op, "group", None) == gkey)
+    merged = {uid: (out[uid] if uid in out else span)
+              for uid, span in times.items()}
+    makespan = max((end for _s, end in merged.values()), default=0.0)
+    timing = PlanTiming(mode="predicted", op_times=merged,
+                        makespan=makespan)
+    n_ops = len(plan.ops) or 1
+    return IncrementalRetime(timing=timing, cone=cone,
+                             cone_fraction=len(cone) / n_ops,
+                             expand_rounds=rounds)
 
 
 @dataclass
@@ -984,8 +1215,10 @@ def what_if(plan: StepPlan, base: PlanTiming, ctx: ExecutionContext,
         predicted = base.makespan
         method = "identity"
     else:
-        predicted = predict_scaled_timing(plan, base, ctx, bucket,
-                                          factor).makespan
+        # The incremental replay reproduces the full relaxation (see
+        # dirty_cone) while touching only the perturbed cone.
+        predicted = retime_incremental(plan, base, ctx, bucket,
+                                       factor).timing.makespan
         method = "relaxation"
         if not exact:
             probe_factor = factor if factor > 0 else _EPSILON_FACTOR

@@ -44,6 +44,39 @@ class TestKeying:
             strategy=DistributedDataParallel(bucket_bytes=50e6)))
         assert a != b
 
+    def test_key_changes_with_pass_knobs(self):
+        # Two pipelines differing only in a knob value must miss each
+        # other: the key carries resolved parameters, not pass names.
+        from repro.plan.passes import GradientBucketing
+        cache = ResultCache("/tmp/unused")
+        a = cache.key(cheap_cell(
+            plan_passes=[GradientBucketing(cap_bytes=25e6)]))
+        b = cache.key(cheap_cell(
+            plan_passes=[GradientBucketing(cap_bytes=100e6)]))
+        assert a != b
+
+    def test_equivalent_pass_spellings_alias(self):
+        # ...while different spellings of the same resolved pipeline
+        # ("all" vs explicit default instances) share one cache entry.
+        from repro.plan.passes import resolve_passes
+        cache = ResultCache("/tmp/unused")
+        assert cache.key(cheap_cell(plan_passes="all")) == \
+            cache.key(cheap_cell(plan_passes=resolve_passes("all")))
+
+    def test_pass_instances_survive_the_cell_round_trip(self):
+        # Cells are picklable dicts: instances canonicalize to specs at
+        # cell build and rebuild as instances at execution.
+        from repro.plan.passes import GradientBucketing
+        cell = cheap_cell(
+            plan_passes=[GradientBucketing(cap_bytes=25e6)])
+        spec = cell["train_kwargs"]["plan_passes"]
+        assert spec == [{"pass": "bucketing",
+                         "params": {"cap_bytes": 25e6}}]
+        json.dumps(cell)  # still fully serializable
+
+    def test_unresolvable_passes_disable_the_cell(self):
+        assert cheap_cell(plan_passes="no-such-pass") is None
+
     def test_key_changes_with_repro_version(self, monkeypatch):
         import repro
         cache = ResultCache("/tmp/unused")

@@ -7,6 +7,7 @@ import pytest
 
 from repro.experiments.regress import (
     DEFAULT_TOLERANCE,
+    MIN_BATCHED_SPEEDUP,
     MIN_CHURN_SPEEDUP,
     SEMANTIC_RTOL,
     compare_reports,
@@ -198,3 +199,59 @@ class TestChurnGate:
         current["flow_churn"] = self.churn()
         report = compare_reports(make_report(), current)
         assert report.as_dict()["flow_churn"]["ok"]
+
+
+class TestBatchedGate:
+    """The batched-grid scenario pins the tape-replay speedup."""
+
+    @staticmethod
+    def batched(speedup=3.5, values_match=True):
+        return {"cells": 6, "lanes": 96, "groups": 6,
+                "batched_lanes": 78, "fallback_lanes": 18,
+                "scalar_fastpath_s": 0.35 * speedup, "batched_s": 0.35,
+                "speedup_vs_scalar": speedup,
+                "values_match": values_match, "max_rel_err": 0.0}
+
+    def test_fast_equivalent_replay_passes(self):
+        base = make_report()
+        base["batched_grid"] = self.batched(speedup=3.2)
+        current = make_report()
+        current["batched_grid"] = self.batched(speedup=4.0)
+        report = compare_reports(base, current)
+        assert report.ok
+        assert report.batched["ok"]
+        assert report.batched["baseline_speedup"] == 3.2
+        assert "batched grid" in report.render_text()
+
+    def test_speedup_below_floor_fails(self):
+        current = make_report()
+        current["batched_grid"] = self.batched(
+            speedup=MIN_BATCHED_SPEEDUP - 0.5)
+        report = compare_reports(make_report(), current)
+        assert not report.ok
+        assert not report.batched["ok"]
+
+    def test_divergence_from_scalar_fails(self):
+        current = make_report()
+        current["batched_grid"] = self.batched(speedup=50.0,
+                                               values_match=False)
+        report = compare_reports(make_report(), current)
+        assert not report.ok
+
+    def test_old_baselines_are_ungated(self):
+        # Baselines predating the scenario gate nothing — and a current
+        # run without it (old checkout) is equally ungated.
+        current = make_report()
+        current["batched_grid"] = self.batched()
+        report = compare_reports(make_report(), current)
+        assert report.batched["ok"]
+        assert report.batched["baseline_speedup"] is None
+        report = compare_reports(current, make_report())
+        assert report.batched is None
+        assert report.ok
+
+    def test_batched_in_as_dict(self):
+        current = make_report()
+        current["batched_grid"] = self.batched()
+        report = compare_reports(make_report(), current)
+        assert report.as_dict()["batched_grid"]["ok"]

@@ -1,0 +1,190 @@
+"""Incremental what-if re-timing: dirty cones, guards, equivalence."""
+
+import pytest
+
+from repro.plan import PlanBuilder
+from repro.plan.fastpath import evaluate_plan
+from repro.telemetry.profile import (
+    SCALE_BUCKETS,
+    dirty_cone,
+    predict_scaled_timing,
+    retime_incremental,
+)
+
+from .test_profile import _compute, make_ctx, step_plan, storage_plan
+
+
+def times_close(a, b):
+    assert a.op_times.keys() == b.op_times.keys()
+    for uid, (s, e) in a.op_times.items():
+        s2, e2 = b.op_times[uid]
+        assert s == pytest.approx(s2, rel=1e-9, abs=1e-12)
+        assert e == pytest.approx(e2, rel=1e-9, abs=1e-12)
+    assert a.makespan == pytest.approx(b.makespan, rel=1e-9, abs=1e-12)
+
+
+def mixed_plan(world=2):
+    """Streams, rendezvous, copies, storage, and delays all present."""
+    b = PlanBuilder("mixed", world_size=world)
+    for rank in range(world):
+        h = b.h2d(rank, "input", 4e6)
+        f = _compute(b, rank, "forward", deps=[h])
+        g = b.collective(rank, "grad", "allreduce", 32e6, deps=[f])
+        o = _compute(b, rank, "opt", deps=[g], flops=1e11)
+        d = b.delay(rank, "step-gap", seconds=1e-4,
+                    elapsed_fraction=0.01, deps=[o])
+        if rank == 0:
+            dh = b.d2h(0, "ckpt", 8e6, deps=[d])
+            b.storage_write(0, "ckpt-write", 8e6, deps=[dh])
+    return b.build()
+
+
+class TestDirtyCone:
+    def test_dag_dependents_are_dirty(self):
+        plan = step_plan()
+        ctx = make_ctx()
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        first = next(op for op in plan if op.name == "input")
+        cone = dirty_cone(plan, base, {first.uid})
+        assert first.uid in cone
+        # Everything downstream of rank 0's input: its forward, the
+        # rendezvous (both members), both opts.
+        names = {op.name for op in plan if op.uid in cone}
+        assert {"input", "forward", "grad", "opt"} <= names
+
+    def test_rendezvous_dirties_all_members(self):
+        plan = step_plan()
+        ctx = make_ctx()
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        grad0 = next(op for op in plan
+                     if op.name == "grad" and op.rank == 0)
+        cone = dirty_cone(plan, base, {grad0.uid})
+        grads = [op.uid for op in plan if op.name == "grad"]
+        assert set(grads) <= cone
+
+    def test_independent_rank_stays_clean(self):
+        # Two ranks with no cross-rank edges: one rank's perturbation
+        # must not touch the other.
+        b = PlanBuilder("islands", world_size=2)
+        for rank in range(2):
+            f = _compute(b, rank, "fwd")
+            _compute(b, rank, "opt", deps=[f], flops=1e11)
+        plan = b.build()
+        ctx = make_ctx()
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        f0 = next(op for op in plan if op.name == "fwd" and op.rank == 0)
+        cone = dirty_cone(plan, base, {f0.uid})
+        assert all(op.rank == 0 for op in plan if op.uid in cone)
+
+    def test_stream_suffix_is_dirty(self):
+        b = PlanBuilder("chain", world_size=1)
+        a = _compute(b, 0, "a")
+        bb = _compute(b, 0, "b", deps=[a])
+        c = _compute(b, 0, "c", deps=[bb])
+        plan = b.build()
+        ctx = make_ctx(world=1)
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        cone = dirty_cone(plan, base, {bb})
+        assert a not in cone and {bb, c} <= cone
+
+
+class TestEquivalenceWithFullReplay:
+    @pytest.mark.parametrize("bucket", SCALE_BUCKETS)
+    @pytest.mark.parametrize("factor", [0.0, 0.3, 1.0, 2.0])
+    def test_matches_full_relaxation(self, bucket, factor):
+        plan = mixed_plan()
+        ctx = make_ctx()
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        full = predict_scaled_timing(plan, base, ctx, bucket, factor)
+        inc = retime_incremental(plan, base, ctx, bucket, factor)
+        times_close(inc.timing, full)
+
+    def test_identity_factor_is_free(self):
+        plan = mixed_plan()
+        ctx = make_ctx()
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        inc = retime_incremental(plan, base, ctx, "compute", 1.0)
+        assert inc.cone_fraction == 0.0
+        assert inc.timing.op_times == base.op_times
+
+    def test_clean_ops_keep_base_times_verbatim(self):
+        plan = mixed_plan()
+        ctx = make_ctx()
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        inc = retime_incremental(plan, base, ctx, "storage", 0.5)
+        assert 0.0 < inc.cone_fraction < 1.0
+        for uid, span in base.op_times.items():
+            if uid not in inc.cone:
+                assert inc.timing.op_times[uid] == span
+
+    def test_storage_cone_is_small(self):
+        plan = mixed_plan()
+        ctx = make_ctx()
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        inc = retime_incremental(plan, base, ctx, "storage", 0.25)
+        # The checkpoint tail is a sink: only the write itself moves.
+        assert inc.cone_fraction <= 0.2
+        full = predict_scaled_timing(plan, base, ctx, "storage", 0.25)
+        times_close(inc.timing, full)
+
+
+class TestDetectAndExpand:
+    def _delay_chain_ctx(self):
+        # Two delay->compute chains on one rank; shrinking the second
+        # delay (only) reorders the stream, which the cone built from
+        # base order cannot see until the guard trips.
+        b = PlanBuilder("step", world_size=1)
+        d1 = b.delay(0, "stall-a", seconds=0.3)
+        c1 = _compute(b, 0, "a", deps=[d1])
+        d2 = b.delay(0, "stall-b", seconds=0.5)
+        c2 = _compute(b, 0, "b", deps=[d2], flops=5e11)
+        return b, d1, c1, d2, c2
+
+    def _shrunk(self, plan, d2):
+        import dataclasses
+
+        from repro.plan.ir import StepPlan
+        ops = [dataclasses.replace(op, seconds=0.1)
+               if op.uid == d2 else op for op in plan]
+        return StepPlan(plan.name, plan.world_size, ops, dict(plan.meta))
+
+    def test_guard_expands_and_matches_engine(self):
+        b, _d1, c1, d2, c2 = self._delay_chain_ctx()
+        plan = b.build()
+        ctx = make_ctx(world=1)
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        shrunk = self._shrunk(plan, d2)
+        # Seed only the shrunk delay: its compute now becomes ready
+        # before the clean chain's compute, flipping FIFO order.
+        inc = retime_incremental(shrunk, base, ctx, "compute", 1.0,
+                                 seeds={d2})
+        assert inc.expand_rounds >= 1
+        truth = evaluate_plan(shrunk, make_ctx(world=1), mode="fastpath")
+        for uid in (c1, c2, d2):
+            assert inc.timing.op_times[uid] == \
+                pytest.approx(truth.op_times[uid], rel=1e-9, abs=1e-12)
+
+    def test_no_expansion_when_order_holds(self):
+        b, _d1, _c1, d2, _c2 = self._delay_chain_ctx()
+        plan = b.build()
+        ctx = make_ctx(world=1)
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        inc = retime_incremental(plan, base, ctx, "compute", 1.0,
+                                 seeds={d2})
+        assert inc.expand_rounds == 0
+        assert inc.timing.op_times == base.op_times
+
+
+class TestWhatIfIntegration:
+    def test_what_if_uses_incremental_and_agrees_with_engine(self):
+        plan = storage_plan()
+        ctx = make_ctx(world=1)
+        base = evaluate_plan(plan, ctx, mode="fastpath")
+        from repro.telemetry.profile import what_if
+        result = what_if(plan, base, ctx, "storage", 0.5,
+                         evaluate=True, evaluate_ctx=make_ctx(world=1))
+        # Partial storage factors are not certified, so what_if may
+        # escalate past the (incremental) relaxation to an engine probe.
+        assert result.method in ("relaxation", "fastpath-epsilon")
+        assert result.predicted_makespan <= base.makespan
+        assert result.evaluated_makespan <= base.makespan
